@@ -1,0 +1,30 @@
+# One binary per paper table/figure plus ablation and micro benches.
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains ONLY executables and the canonical loop
+#   for b in build/bench/*; do $b; done
+# runs exactly the benches.
+function(ugcop_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE ugcip steiner misdp cip ug
+                        Threads::Threads)
+  target_compile_definitions(${name}
+                             PRIVATE UGCOP_SOURCE_DIR="${CMAKE_SOURCE_DIR}")
+  set_target_properties(${name} PROPERTIES
+                        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+ugcop_add_bench(table1_stp_shared)
+ugcop_add_bench(table2_bip_restart)
+ugcop_add_bench(table3_hc_racing)
+ugcop_add_bench(table4_misdp_scaling)
+ugcop_add_bench(fig1_racing_winners)
+ugcop_add_bench(glue_loc_report)
+ugcop_add_bench(ablation_stp_features)
+ugcop_add_bench(ablation_ug_rampup)
+
+add_executable(micro_kernels ${CMAKE_SOURCE_DIR}/bench/micro_kernels.cpp)
+set_target_properties(micro_kernels PROPERTIES
+                      RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(micro_kernels PRIVATE steiner sdp lp linalg
+                      benchmark::benchmark Threads::Threads)
+ugcop_add_bench(ablation_misdp_modes)

@@ -1,0 +1,32 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// Shifted geometric mean with shift s (Table 4 uses s = 10).
+inline double shiftedGeoMean(const std::vector<double>& values, double shift) {
+    if (values.empty()) return 0.0;
+    double logSum = 0.0;
+    for (double v : values) logSum += std::log(std::max(v, 0.0) + shift);
+    return std::exp(logSum / static_cast<double>(values.size())) - shift;
+}
+
+inline void hline(int width) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+inline void header(const std::string& title) {
+    std::printf("\n");
+    hline(78);
+    std::printf("%s\n", title.c_str());
+    hline(78);
+}
+
+}  // namespace benchutil

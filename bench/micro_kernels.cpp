@@ -1,0 +1,153 @@
+// Google-benchmark microbenchmarks for the computational kernels under the
+// solvers: simplex (cold/warm), max-flow separation, symmetric eigen, dual
+// ascent, reduction package and the SDP interior-point method.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "linalg/eigen.hpp"
+#include "lp/simplex.hpp"
+#include "sdp/ipm.hpp"
+#include "steiner/dualascent.hpp"
+#include "steiner/heuristics.hpp"
+#include "steiner/instances.hpp"
+#include "steiner/maxflow.hpp"
+#include "steiner/reductions.hpp"
+
+namespace {
+
+lp::LpModel randomLp(int n, int rows, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> coef(-2.0, 2.0);
+    lp::LpModel m;
+    for (int j = 0; j < n; ++j) m.addCol(coef(rng), 0.0, 3.0);
+    for (int i = 0; i < rows; ++i) {
+        std::vector<std::pair<int, double>> cs;
+        for (int j = 0; j < n; ++j) cs.emplace_back(j, coef(rng));
+        m.addRow(lp::Row(std::move(cs), -5.0, 5.0));
+    }
+    return m;
+}
+
+void BM_SimplexCold(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    lp::LpModel m = randomLp(n, n, 42);
+    for (auto _ : state) {
+        lp::SimplexSolver s;
+        s.load(m);
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SimplexCold)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_SimplexWarmCut(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    lp::LpModel m = randomLp(n, n, 7);
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<double> coef(-1.0, 1.0);
+    for (auto _ : state) {
+        state.PauseTiming();
+        lp::SimplexSolver s;
+        s.load(m);
+        s.solve();
+        std::vector<std::pair<int, double>> cs;
+        for (int j = 0; j < n; ++j) cs.emplace_back(j, coef(rng));
+        std::vector<lp::Row> cut{lp::Row(std::move(cs), -3.0, 3.0)};
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(s.addRowsAndResolve(cut));
+    }
+}
+BENCHMARK(BM_SimplexWarmCut)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_MaxFlowSeparation(benchmark::State& state) {
+    steiner::Graph g = steiner::genHypercube(
+        static_cast<int>(state.range(0)), true, 3);
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> cap(0.0, 1.0);
+    for (auto _ : state) {
+        steiner::MaxFlow mf(g.numVertices());
+        for (int e = 0; e < g.numEdges(); ++e) {
+            mf.addArc(g.edge(e).u, g.edge(e).v, cap(rng));
+            mf.addArc(g.edge(e).v, g.edge(e).u, cap(rng));
+        }
+        benchmark::DoNotOptimize(mf.solve(0, g.numVertices() - 1));
+    }
+}
+BENCHMARK(BM_MaxFlowSeparation)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> coef(-1.0, 1.0);
+    linalg::Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i; j < n; ++j) {
+            a(i, j) = coef(rng);
+            a(j, i) = a(i, j);
+        }
+    for (auto _ : state) benchmark::DoNotOptimize(linalg::symmetricEigen(a));
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_DualAscent(benchmark::State& state) {
+    steiner::Graph g =
+        steiner::genHypercube(static_cast<int>(state.range(0)), true, 1);
+    for (auto _ : state) benchmark::DoNotOptimize(steiner::dualAscent(g));
+}
+BENCHMARK(BM_DualAscent)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_SteinerPresolve(benchmark::State& state) {
+    steiner::Graph g = steiner::genGeometric(
+        static_cast<int>(state.range(0)), state.range(0) / 4, 0.4, 17);
+    for (auto _ : state) {
+        steiner::Graph copy = g;
+        benchmark::DoNotOptimize(steiner::presolve(copy));
+    }
+}
+BENCHMARK(BM_SteinerPresolve)->Arg(30)->Arg(60)->Arg(100);
+
+void BM_TmHeuristic(benchmark::State& state) {
+    steiner::Graph g =
+        steiner::genHypercube(static_cast<int>(state.range(0)), false, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(steiner::primalHeuristic(g));
+}
+BENCHMARK(BM_TmHeuristic)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_SdpInteriorPoint(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    std::mt19937 rng(9);
+    std::uniform_real_distribution<double> coef(-1.0, 1.0);
+    sdp::SdpProblem p;
+    p.init(3);
+    p.b = {coef(rng), coef(rng), coef(rng)};
+    p.lb.assign(3, -2.0);
+    p.ub.assign(3, 2.0);
+    sdp::SdpBlock blk;
+    blk.dim = n;
+    linalg::Matrix c(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i; j < n; ++j) {
+            c(i, j) = coef(rng);
+            c(j, i) = c(i, j);
+        }
+    for (int i = 0; i < n; ++i) c(i, i) += 3.0;
+    blk.c = c;
+    blk.a.resize(3);
+    for (int k = 0; k < 3; ++k) {
+        linalg::Matrix a(n, n);
+        for (int i = 0; i < n; ++i)
+            for (int j = i; j < n; ++j) {
+                a(i, j) = coef(rng);
+                a(j, i) = a(i, j);
+            }
+        blk.a[k] = a;
+    }
+    p.addBlock(std::move(blk));
+    for (auto _ : state) benchmark::DoNotOptimize(sdp::solveSdp(p));
+}
+BENCHMARK(BM_SdpInteriorPoint)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Table 2 reproduction: solving a hard bip-family instance through a series
+// of checkpoint-restarted runs on (simulated) machines of different sizes —
+// the workflow that solved bip52u on ISM/HLRN III in the paper. Each row
+// reports the leg's core count, simulated time, idle ratio, transferred
+// nodes, initial and final primal/dual bounds and gap, B&B nodes generated,
+// and open nodes (note how checkpointing collapses the open count to the
+// few primitive nodes, e.g. 271,781 -> 18 in the paper).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "steiner/instances.hpp"
+#include "steiner/stpsolver.hpp"
+#include "ug/checkpoint.hpp"
+#include "ugcip/stp_plugins.hpp"
+
+namespace {
+constexpr const char* kCheckpointFile = "/tmp/ugcop_bip_checkpoint.txt";
+constexpr double kCostUnit = 1e-4;
+
+double gapPercent(double primal, double dual) {
+    if (primal >= 1e99 || dual <= -1e99) return 100.0;
+    if (std::abs(primal) < 1e-12) return 0.0;
+    return 100.0 * std::abs(primal - dual) / std::abs(primal);
+}
+}  // namespace
+
+int main() {
+    benchutil::header(
+        "Table 2: statistics for solving a bip-family instance through\n"
+        "checkpoint-restarted ug[CIP-Jack, Sim(MPI)] runs");
+
+    steiner::Graph g = steiner::genBipartite(14, 30, 3, true, 1);
+    steiner::SteinerSolver solver(g);
+    solver.presolve();
+    if (solver.instance().trivial()) {
+        std::printf("instance presolved away; regenerate with another seed\n");
+        return 0;
+    }
+    std::printf("instance %s: %d vertices, %d edges, %d terminals "
+                "(after presolve: %d/%d/%d)\n\n",
+                g.name.c_str(), g.numVertices(), g.numActiveEdges(),
+                g.numTerminals(), solver.instance().graph.numActiveVertices(),
+                solver.instance().graph.numActiveEdges(),
+                solver.instance().graph.numTerminals());
+
+    struct Leg {
+        const char* run;
+        const char* computer;
+        int cores;
+        double timeLimit;  // simulated seconds; <0 = run to completion
+    };
+    const std::vector<Leg> legs = {
+        {"1.1", "ISM*", 8, 0.15},    {"1.2", "ISM*", 8, 0.15},
+        {"1.3", "HLRN*", 64, 0.05},  {"1.4", "HLRN*", 64, 0.05},
+        {"1.5", "HLRN*", 64, 0.05},  {"1.6", "ISM*", 24, -1.0},
+    };
+
+    std::remove(kCheckpointFile);
+    std::printf(
+        "Run  Computer  Cores   Time(s)  Idle%%  Trans.  "
+        "Primal     Dual       Gap%%    Nodes      Open\n");
+    benchutil::hline(100);
+
+    bool first = true;
+    for (const Leg& leg : legs) {
+        // Initial bounds, read from the checkpoint (what a restart sees).
+        double primal0 = 1e100, dual0 = -1e100;
+        long long open0 = 0;
+        if (!first) {
+            if (auto cp = ug::loadCheckpoint(kCheckpointFile)) {
+                if (cp->incumbent.valid()) primal0 = cp->incumbent.obj;
+                dual0 = cp->dualBound;
+                open0 = static_cast<long long>(cp->nodes.size());
+            }
+        }
+
+        ug::UgConfig cfg;
+        cfg.numSolvers = leg.cores;
+        cfg.costUnitSeconds = kCostUnit;
+        cfg.checkpointFile = kCheckpointFile;
+        cfg.checkpointInterval = 0.01;
+        cfg.restartFromCheckpoint = !first;
+        if (leg.timeLimit > 0) cfg.timeLimit = leg.timeLimit;
+        ug::UgResult res = ugcip::solveSteinerParallel(solver.instance(), cfg,
+                                                       /*simulated=*/true);
+        const double fixed = solver.instance().fixedCost;
+        const double primal1 =
+            res.best.valid() ? res.best.obj + 0 * fixed : 1e100;
+        const double dual1 = res.dualBound;
+
+        auto bounds = [&](double p, double d, char* buf, std::size_t n) {
+            if (p >= 1e99)
+                std::snprintf(buf, n, "%-10s %-10.3f", "-", d <= -1e99 ? 0.0 : d);
+            else
+                std::snprintf(buf, n, "%-10.1f %-10.3f", p, d);
+        };
+        char b0[64], b1[64];
+        bounds(primal0, dual0, b0, sizeof b0);
+        bounds(primal1, dual1, b1, sizeof b1);
+        std::printf("%-4s %-9s %5d  initial%24s %s %7.2f %10s %9lld\n",
+                    leg.run, leg.computer, leg.cores, "", b0,
+                    first ? 100.0 : gapPercent(primal0, dual0), "0", open0);
+        std::printf("%-4s %-9s %5s %9.3f %6.2f %7lld %s %7.2f %10lld %9lld\n",
+                    "", "", "", res.elapsed, 100.0 * res.stats.idleRatio,
+                    res.stats.transferredNodes, b1,
+                    res.status == ug::UgStatus::Optimal
+                        ? 0.0
+                        : gapPercent(primal1, dual1),
+                    res.stats.totalNodesProcessed, res.stats.openNodesAtEnd);
+
+        if (res.status == ug::UgStatus::Optimal) {
+            steiner::SteinerResult sr = ugcip::toSteinerResult(solver, res);
+            std::printf("\nsolved to optimality in run %s: cost=%.1f\n",
+                        leg.run, sr.cost);
+            break;
+        }
+        first = false;
+    }
+    std::remove(kCheckpointFile);
+    std::printf(
+        "\nShape check vs. paper Table 2: restarts begin with few open\n"
+        "(primitive) nodes, the dual bound climbs monotonically across legs,\n"
+        "and the final leg closes the gap.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+// Table 3 reproduction: improving the best known solution of a hard
+// hc-family instance through successive racing-ramp-up runs, each warm-
+// started with the previous run's incumbent — the paper's hc10p workflow
+// (59,797 -> 59,776 -> 59,772 -> 59,733 there). The primal bound must
+// improve (or hold) across runs while the final run proves optimality.
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "steiner/exactdp.hpp"
+#include "steiner/heuristics.hpp"
+#include "steiner/instances.hpp"
+#include "steiner/stpmodel.hpp"
+#include "steiner/stpsolver.hpp"
+#include "ugcip/stp_plugins.hpp"
+
+namespace {
+constexpr double kCostUnit = 1e-4;
+}
+
+int main() {
+    benchutil::header(
+        "Table 3: improving the best known solution of an hc-family\n"
+        "instance with warm-started racing runs (ug[CIP-Jack, Sim])");
+
+    // Auto-select an hc-family instance where the heuristic "best known"
+    // solution is suboptimal, so the improvement story of Table 3 can play
+    // out (the paper's hc10p had a suboptimal best-known of 59,797).
+    steiner::Graph g;
+    {
+        bool found = false;
+        for (unsigned seed = 1; seed <= 40 && !found; ++seed) {
+            steiner::Graph cand = steiner::genHypercube(4, true, seed);
+            steiner::Graph reduced = cand;
+            steiner::ReductionStats red = steiner::presolve(reduced);
+            if (reduced.numTerminals() <= 1) continue;
+            auto opt = steiner::steinerDpOptimal(cand);
+            if (!opt) continue;
+            steiner::HeuristicSolution tm0 =
+                steiner::primalHeuristic(cand, 1);
+            if (tm0.valid() && tm0.cost > *opt + 0.5) {
+                g = std::move(cand);
+                found = true;
+            }
+        }
+        if (!found) g = steiner::genHypercube(4, true, 2);
+    }
+    steiner::SteinerSolver solver(g);
+    solver.presolve();
+    const steiner::SapInstance& inst = solver.instance();
+    if (inst.trivial()) {
+        std::printf("instance presolved away; regenerate with another seed\n");
+        return 0;
+    }
+    std::printf("instance %s: %d vertices, %d edges, %d terminals\n\n",
+                g.name.c_str(), g.numVertices(), g.numActiveEdges(),
+                g.numTerminals());
+
+    // "Best known solution": a single-root TM tree without local search —
+    // deliberately improvable, like hc10p's best known at the time.
+    steiner::HeuristicSolution tm = steiner::tmHeuristic(inst.graph, 1);
+    cip::Solution bestKnown;
+    bestKnown.x = steiner::treeToModelSolution(inst, tm.edges);
+    bestKnown.obj = inst.graph.costOf(tm.edges);
+    std::printf("initial best known (TM heuristic): %.1f (+ fixed %.1f)\n\n",
+                bestKnown.obj, inst.fixedCost);
+
+    struct Leg {
+        const char* run;
+        const char* computer;
+        int cores;
+        double timeLimit;  // <0: to completion
+    };
+    const std::vector<Leg> legs = {
+        {"1", "ISM*", 8, 0.05},
+        {"2", "ISM*", 8, 0.10},
+        {"3", "ISM*", 8, -1.0},
+    };
+
+    std::printf(
+        "Run  Computer Cores   Time(s)  Idle%%   Trans.  Primal     Dual     "
+        "Gap%%     Nodes     Open\n");
+    benchutil::hline(100);
+    for (const Leg& leg : legs) {
+        const double primal0 = bestKnown.obj;
+        ug::UgConfig cfg;
+        cfg.numSolvers = leg.cores;
+        cfg.costUnitSeconds = kCostUnit;
+        cfg.rampUp = ug::RampUp::Racing;
+        cfg.racingOpenNodesLimit = 20;
+        cfg.racingTimeLimit = 0.02;
+        cfg.initialSolution = bestKnown;
+        if (leg.timeLimit > 0) cfg.timeLimit = leg.timeLimit;
+        ug::UgResult res = ugcip::solveSteinerParallel(inst, cfg,
+                                                       /*simulated=*/true);
+        const double primal1 = res.best.valid() ? res.best.obj : primal0;
+        const double dual1 = res.dualBound;
+        const double gap =
+            res.status == ug::UgStatus::Optimal
+                ? 0.0
+                : 100.0 * (primal1 - dual1) / std::max(1.0, primal1);
+        std::printf("%-4s %-8s %5d  initial %26.1f %22s\n", leg.run,
+                    leg.computer, leg.cores, primal0, "");
+        std::printf("%-4s %-8s %5s %9.3f %6.2f %8lld %8.1f %9.2f %7.2f %9lld "
+                    "%8lld\n",
+                    "", "", "", res.elapsed, 100.0 * res.stats.idleRatio,
+                    res.stats.transferredNodes, primal1, dual1, gap,
+                    res.stats.totalNodesProcessed, res.stats.openNodesAtEnd);
+        if (res.best.valid() && res.best.obj < bestKnown.obj - 1e-9) {
+            std::printf("     -> improved best known: %.1f -> %.1f\n",
+                        bestKnown.obj, res.best.obj);
+            bestKnown = res.best;
+        }
+        if (res.status == ug::UgStatus::Optimal) {
+            steiner::SteinerResult sr = ugcip::toSteinerResult(solver, res);
+            std::printf("\nrun %s proved optimality: total cost %.1f "
+                        "(incl. fixed %.1f)\n",
+                        leg.run, sr.cost, inst.fixedCost);
+            break;
+        }
+    }
+    std::printf(
+        "\nShape check vs. paper Table 3: the primal bound improves (or\n"
+        "holds) monotonically across warm-started racing runs; the final\n"
+        "run closes the instance.\n");
+    return 0;
+}

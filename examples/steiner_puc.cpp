@@ -1,0 +1,72 @@
+// Solve a Steiner tree instance: either a SteinLib .stp file given on the
+// command line (real PUC files work unchanged) or a generated PUC-family
+// instance. Runs reductions, sequential branch-and-cut, and the parallel
+// solver ug[CIP-Jack, Sim].
+//
+//   ./examples/steiner_puc [file.stp]
+#include <cstdio>
+
+#include "steiner/instances.hpp"
+#include "steiner/stpsolver.hpp"
+#include "ugcip/stp_plugins.hpp"
+
+int main(int argc, char** argv) {
+    steiner::Graph g;
+    if (argc > 1) {
+        auto loaded = steiner::readStpFile(argv[1]);
+        if (!loaded) {
+            std::fprintf(stderr, "cannot read %s\n", argv[1]);
+            return 1;
+        }
+        g = std::move(*loaded);
+        std::printf("loaded %s: %d vertices, %d edges, %d terminals\n",
+                    argv[1], g.numVertices(), g.numActiveEdges(),
+                    g.numTerminals());
+    } else {
+        g = steiner::genBipartite(12, 28, 3, /*perturbedCosts=*/true, 48);
+        std::printf("generated %s: %d vertices, %d edges, %d terminals\n",
+                    g.name.c_str(), g.numVertices(), g.numActiveEdges(),
+                    g.numTerminals());
+    }
+
+    steiner::SteinerSolver solver(g);
+    solver.presolve();
+    const auto& red = solver.reductionStats();
+    std::printf("presolve: %lld edges deleted (%lld extended), "
+                "%lld vertices removed, fixed cost %g\n",
+                red.edgesDeleted, red.extendedDeletions, red.verticesRemoved,
+                red.fixedCost);
+    std::printf("reduced: %d vertices, %d edges, %d terminals; "
+                "dual ascent bound %.2f\n",
+                solver.instance().graph.numActiveVertices(),
+                solver.instance().graph.numActiveEdges(),
+                solver.instance().graph.numTerminals(),
+                solver.instance().dualAscentBound);
+
+    steiner::SteinerResult seq = solver.solve();
+    std::printf("sequential: status=%s cost=%g nodes=%lld cuts=%lld\n",
+                cip::toString(seq.status), seq.cost,
+                static_cast<long long>(seq.stats.nodesProcessed),
+                static_cast<long long>(seq.stats.cutsAdded));
+
+    if (!solver.instance().trivial()) {
+        ug::UgConfig cfg;
+        cfg.numSolvers = 8;
+        cfg.logInterval = 0.05;  // UG-style coordinator status lines
+        ug::UgResult res = ugcip::solveSteinerParallel(solver.instance(), cfg,
+                                                       /*simulated=*/true);
+        steiner::SteinerResult par = ugcip::toSteinerResult(solver, res);
+        std::printf(
+            "ug[CIP-Jack,Sim] x%d: status=%s cost=%g sim-time=%.3fs "
+            "idle=%.1f%% maxActive=%d transferred=%lld\n",
+            cfg.numSolvers, ug::toString(res.status), par.cost, res.elapsed,
+            100.0 * res.stats.idleRatio, res.stats.maxActiveSolvers,
+            res.stats.transferredNodes);
+        if (seq.status == cip::Status::Optimal &&
+            std::abs(par.cost - seq.cost) > 1e-6) {
+            std::fprintf(stderr, "MISMATCH between sequential and parallel!\n");
+            return 1;
+        }
+    }
+    return 0;
+}

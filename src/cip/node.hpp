@@ -1,0 +1,63 @@
+// Branch-and-bound node and solver-independent subproblem descriptions.
+//
+// A SubproblemDesc is the UG-transferable form of a node: the list of bound
+// changes plus any constraint-branching payloads accumulated on the root
+// path. This is exactly the representation the paper's ug-0.8.6 release
+// added for SCIP-Jack ("support for constraint branching and a user routine
+// to communicate previous branching decisions to each ParaSolver").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace cip {
+
+struct BoundChange {
+    int var = -1;
+    double lb = -lp::kInf;
+    double ub = lp::kInf;
+};
+
+/// Opaque constraint-branching decision owned by a named plugin
+/// (e.g. the Steiner vertex-branching rule). `data` is plugin-defined.
+struct CustomBranch {
+    std::string plugin;
+    std::vector<std::int64_t> data;
+};
+
+/// Solver-independent description of a subproblem: everything needed to
+/// recreate the node in a fresh base solver (layered presolving then applies
+/// on top of this).
+struct SubproblemDesc {
+    std::vector<BoundChange> boundChanges;
+    std::vector<CustomBranch> customBranches;
+    double lowerBound = -lp::kInf;  ///< best known dual bound of the node
+
+    bool isRoot() const {
+        return boundChanges.empty() && customBranches.empty();
+    }
+};
+
+/// In-tree node. Children extend the parent's path; the full root path is
+/// materialized in `desc` so nodes are individually transferable.
+struct Node {
+    std::int64_t id = 0;
+    int depth = 0;
+    double lowerBound = -lp::kInf;
+    double estimate = -lp::kInf;  ///< pseudo-cost based objective estimate
+    SubproblemDesc desc;
+
+    // Pseudocost bookkeeping: how this node was created from its parent.
+    int branchVar = -1;            ///< variable branched on (-1: custom/root)
+    double branchFrac = 0.0;       ///< fractionality of the branch variable
+    bool branchUp = false;         ///< ceil (true) or floor (false) child
+    double parentRelaxObj = -lp::kInf;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+}  // namespace cip

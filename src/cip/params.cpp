@@ -1,0 +1,42 @@
+#include "cip/params.hpp"
+
+namespace cip {
+
+ParamSet ParamSet::emphasis(const std::string& name) {
+    ParamSet p;
+    p.setString("emphasis", name);
+    if (name == "default" || name.empty()) {
+        p.setInt("separating/maxrounds", 10);
+        p.setInt("heuristics/freq", 5);
+        p.setString("nodeselection", "bestbound");
+        p.setString("branching", "pseudocost");
+        p.setBool("presolving/enabled", true);
+        p.setInt("propagating/maxrounds", 5);
+    } else if (name == "easycip") {
+        p.setInt("separating/maxrounds", 3);
+        p.setInt("heuristics/freq", 1);
+        p.setString("nodeselection", "dfs");
+        p.setString("branching", "mostfrac");
+        p.setBool("presolving/enabled", true);
+        p.setInt("propagating/maxrounds", 2);
+    } else if (name == "aggressive") {
+        p.setInt("separating/maxrounds", 25);
+        p.setInt("heuristics/freq", 1);
+        p.setString("nodeselection", "bestbound");
+        p.setString("branching", "pseudocost");
+        p.setBool("presolving/enabled", true);
+        p.setInt("propagating/maxrounds", 10);
+    } else if (name == "fast") {
+        p.setInt("separating/maxrounds", 0);
+        p.setInt("heuristics/freq", 20);
+        p.setString("nodeselection", "dfs");
+        p.setString("branching", "mostfrac");
+        p.setBool("presolving/enabled", false);
+        p.setInt("propagating/maxrounds", 1);
+    } else {
+        throw std::runtime_error("unknown emphasis: " + name);
+    }
+    return p;
+}
+
+}  // namespace cip

@@ -1,0 +1,75 @@
+// Typed parameter system with emphasis presets.
+//
+// Mirrors the role of SCIP's parameter/emphasis system in the paper: racing
+// ramp-up derives its per-ParaSolver setting diversity from parameter
+// permutations, and Figure 1's "settings 1..32" are entries of a settings
+// table built on top of this class.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace cip {
+
+/// A flat, typed key-value parameter store.
+class ParamSet {
+public:
+    using Value = std::variant<bool, int, double, std::string>;
+
+    void setBool(const std::string& key, bool v) { values_[key] = v; }
+    void setInt(const std::string& key, int v) { values_[key] = v; }
+    void setReal(const std::string& key, double v) { values_[key] = v; }
+    void setString(const std::string& key, std::string v) {
+        values_[key] = std::move(v);
+    }
+
+    bool getBool(const std::string& key, bool def) const {
+        return get<bool>(key, def);
+    }
+    int getInt(const std::string& key, int def) const {
+        return get<int>(key, def);
+    }
+    double getReal(const std::string& key, double def) const {
+        auto it = values_.find(key);
+        if (it == values_.end()) return def;
+        if (auto* d = std::get_if<double>(&it->second)) return *d;
+        if (auto* i = std::get_if<int>(&it->second)) return *i;
+        throw std::runtime_error("param type mismatch: " + key);
+    }
+    std::string getString(const std::string& key, const std::string& def) const {
+        return get<std::string>(key, def);
+    }
+
+    bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+    /// Merge other on top of this (other wins on conflicts).
+    void merge(const ParamSet& other) {
+        for (const auto& [k, v] : other.values_) values_[k] = v;
+    }
+
+    const std::map<std::string, Value>& raw() const { return values_; }
+
+    /// Emphasis presets, analogous to SCIP's set/emphasis:
+    ///   "default"   — balanced
+    ///   "easycip"   — assume easy instances: light separation, aggressive
+    ///                 heuristics, depth-first plunging (the preset the paper
+    ///                 reports winning on CLS instances)
+    ///   "aggressive"— heavy cuts + heuristics
+    ///   "fast"      — minimal overhead, pure branching
+    static ParamSet emphasis(const std::string& name);
+
+private:
+    template <typename T>
+    T get(const std::string& key, const T& def) const {
+        auto it = values_.find(key);
+        if (it == values_.end()) return def;
+        if (auto* p = std::get_if<T>(&it->second)) return *p;
+        throw std::runtime_error("param type mismatch: " + key);
+    }
+
+    std::map<std::string, Value> values_;
+};
+
+}  // namespace cip

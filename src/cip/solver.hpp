@@ -1,0 +1,246 @@
+// Branch-cut-and-propagate CIP solver with a plugin architecture and a
+// stepping API.
+//
+// The stepping API (initSolve()/step()) exists for the UG layer: a
+// ParaSolver drives its embedded base solver one B&B node at a time,
+// exchanging messages between steps (Algorithm 2 of the paper), and the
+// discrete-event SimComm engine charges each step's reported cost to the
+// rank's virtual clock.
+//
+// Determinism: given the same model, parameters and permutation seed the
+// solver's trace is bit-reproducible; all "time" limits are expressed in
+// deterministic work units (LP iterations), which is what makes the
+// simulated parallel experiments of the benchmark suite repeatable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "cip/model.hpp"
+#include "cip/node.hpp"
+#include "cip/params.hpp"
+#include "cip/plugins.hpp"
+#include "lp/simplex.hpp"
+
+namespace cip {
+
+enum class Status {
+    Unsolved,
+    Optimal,
+    Infeasible,
+    Unbounded,
+    NodeLimit,
+    CostLimit,
+    GapLimit,
+    Interrupted,
+};
+
+const char* toString(Status s);
+
+struct Stats {
+    std::int64_t nodesProcessed = 0;
+    std::int64_t nodesCreated = 0;
+    std::int64_t lpIterations = 0;
+    std::int64_t cutsAdded = 0;
+    std::int64_t solutionsFound = 0;
+    int maxDepth = 0;
+    std::int64_t totalCost = 0;   ///< deterministic work units spent
+    std::int64_t rootCost = 0;    ///< work units spent on the root node
+    std::int64_t numericalFailures = 0;  ///< nodes dropped on relax failure
+};
+
+class Solver {
+public:
+    Solver();
+    ~Solver();
+    Solver(const Solver&) = delete;
+    Solver& operator=(const Solver&) = delete;
+
+    // -- setup ---------------------------------------------------------------
+    void setModel(Model m);
+    Model& model() { return model_; }
+    const Model& model() const { return model_; }
+    ParamSet& params() { return params_; }
+    const ParamSet& params() const { return params_; }
+
+    void addPresolver(std::unique_ptr<Presolver> p);
+    void addPropagator(std::unique_ptr<Propagator> p);
+    void addSeparator(std::unique_ptr<Separator> p);
+    void addHeuristic(std::unique_ptr<Heuristic> p);
+    void addBranchrule(std::unique_ptr<Branchrule> p);
+    void addConstraintHandler(std::unique_ptr<ConstraintHandler> p);
+    void addEventHandler(std::unique_ptr<EventHandler> p);
+    void setRelaxator(std::unique_ptr<Relaxator> r);
+    ConstraintHandler* findConstraintHandler(const std::string& name);
+
+    /// Load a transferred subproblem (apply before initSolve()).
+    void loadSubproblem(SubproblemDesc desc) { rootDesc_ = std::move(desc); }
+    /// The subproblem this solver instance was created for (root: empty).
+    /// Constraint handlers use this during presolve, before a node exists.
+    const SubproblemDesc& rootSubproblem() const { return rootDesc_; }
+
+    // -- solving -------------------------------------------------------------
+    /// Sequential convenience: init + step to completion.
+    Status solve();
+
+    /// Presolve and create the root node. Idempotent.
+    void initSolve();
+
+    /// Process one B&B node; returns the work units consumed. Call until
+    /// finished(). Safe to interleave with the UG accessors below.
+    std::int64_t step();
+
+    bool finished() const;
+    Status status() const { return status_; }
+
+    // -- results / UG integration ---------------------------------------------
+    const Solution& incumbent() const { return incumbent_; }
+    double primalBound() const;
+    /// Global dual bound: min over open node bounds (equals primal at opt).
+    double dualBound() const;
+    double gap() const;
+    const Stats& stats() const { return stats_; }
+    int numOpenNodes() const { return static_cast<int>(open_.size()); }
+
+    /// Inject an externally found incumbent (from the LoadCoordinator).
+    /// Adopted only if better than the current one; enables cutoff pruning,
+    /// propagation and heuristics exactly as the paper describes for hc10p.
+    void injectSolution(const Solution& sol);
+
+    /// Remove and return the most promising open subproblem for transfer
+    /// (collect mode). Prefers "heavy" nodes: best bound, then lowest depth.
+    std::optional<SubproblemDesc> extractOpenNode();
+
+    /// Invoked whenever a new incumbent is accepted.
+    void setIncumbentCallback(std::function<void(const Solution&)> cb) {
+        incumbentCallback_ = std::move(cb);
+    }
+    /// Cooperative interruption (UG termination messages).
+    void setInterruptFlag(const std::atomic<bool>* flag) { interrupt_ = flag; }
+
+    // -- services for plugins (valid inside plugin callbacks) -----------------
+    const std::vector<double>& localLb() const { return curLb_; }
+    const std::vector<double>& localUb() const { return curUb_; }
+    /// Tighten bounds of the current node (or globally during presolve).
+    /// Returns Infeasible if the domain becomes empty.
+    ReduceResult tightenLb(int var, double v);
+    ReduceResult tightenUb(int var, double v);
+    /// Add a globally valid cutting plane (flushed once per separation round).
+    void addCut(Row row);
+    /// Register a *managed* row: a row whose side bounds the owning plugin
+    /// switches per node (constraint branching, e.g. SCIP-Jack's vertex
+    /// branching). The row starts inactive (free). Returns a handle.
+    int addManagedRow(Row row);
+    /// Activate/deactivate a managed row for the current node; typically
+    /// called from ConstraintHandler::nodeActivated().
+    void setManagedRowBounds(int handle, double lhs, double rhs);
+    /// Validate and possibly accept a candidate solution; true if accepted.
+    bool submitSolution(Solution sol);
+    /// Extra deterministic work units (relaxator iterations etc.).
+    void addCost(std::int64_t units) { pendingCost_ += units; }
+    const Node* currentNode() const { return processing_.get(); }
+    std::mt19937_64& rng() { return rng_; }
+    /// LP data from the most recent relaxation solve at this node.
+    double lpObjective() const { return lpObj_; }
+    const std::vector<double>& lpDuals() const;
+    const std::vector<double>& lpRedcosts() const;
+    bool inPresolve() const { return phase_ == Phase::Presolving; }
+
+private:
+    enum class Phase { Setup, Presolving, Solving, Done };
+
+    struct NodeOrder;  // nodesel comparison
+
+    Model model_;
+    ParamSet params_;
+
+    std::vector<std::unique_ptr<Presolver>> presolvers_;
+    std::vector<std::unique_ptr<Propagator>> propagators_;
+    std::vector<std::unique_ptr<Separator>> separators_;
+    std::vector<std::unique_ptr<Heuristic>> heuristics_;
+    std::vector<std::unique_ptr<Branchrule>> branchrules_;
+    std::vector<std::unique_ptr<ConstraintHandler>> conshdlrs_;
+    std::vector<std::unique_ptr<EventHandler>> eventhdlrs_;
+    std::unique_ptr<Relaxator> relaxator_;
+
+    SubproblemDesc rootDesc_;
+    Phase phase_ = Phase::Setup;
+    Status status_ = Status::Unsolved;
+
+    // Bounds: root (post-presolve, post-desc) and current-node local copies.
+    std::vector<double> rootLb_, rootUb_;
+    std::vector<double> curLb_, curUb_;
+
+    // LP machinery.
+    lp::SimplexSolver lp_;
+    bool lpBuilt_ = false;
+    std::vector<double> lpLb_, lpUb_;  ///< bounds currently loaded in the LP
+    std::vector<Row> cutPool_;          ///< all globally valid cuts in the LP
+    std::vector<int> cutLpIndex_;       ///< LP row index per pool cut
+    std::vector<int> cutAge_;           ///< consecutive non-binding checks
+    std::vector<Row> pendingCuts_;
+    struct ManagedRow {
+        Row row;        ///< coefficients; stored bounds = currently set ones
+        int lpIndex = -1;
+    };
+    std::vector<ManagedRow> managedRows_;
+    double lpObj_ = -kInf;
+    bool lpSolutionValid_ = false;
+
+    // Tree.
+    std::vector<NodePtr> open_;
+    NodePtr processing_;
+    std::int64_t nextNodeId_ = 0;
+
+    Solution incumbent_;
+    double cutoff_ = kInf;
+
+    Stats stats_;
+    std::int64_t pendingCost_ = 0;
+    std::mt19937_64 rng_;
+    const std::atomic<bool>* interrupt_ = nullptr;
+    std::function<void(const Solution&)> incumbentCallback_;
+
+    // Pseudocosts.
+    struct PseudoCost {
+        double upSum = 0.0, downSum = 0.0;
+        int upCount = 0, downCount = 0;
+    };
+    std::vector<PseudoCost> pseudo_;
+
+    // -- helpers -------------------------------------------------------------
+    void runPresolve();
+    void buildLp();
+    lp::SolveStatus flushPendingCutsToLp();
+    /// Cut aging: drop long-inactive pool cuts and schedule an LP rebuild
+    /// when the pool outgrows "separating/maxpoolsize".
+    void manageCutPool();
+    void syncLpBounds();
+    lp::SolveStatus solveLp();
+    void applyNodeBounds(const Node& node);
+    ReduceResult propagateRounds();
+    ReduceResult linearPropagation();
+    ReduceResult reducedCostFixing();
+    bool isIntegral(const std::vector<double>& x) const;
+    int mostFractionalVar(const std::vector<double>& x) const;
+    int pseudocostVar(const std::vector<double>& x) const;
+    bool checkSolutionFeasible(const std::vector<double>& x, double* objOut);
+    void runHeuristics(const std::vector<double>& relaxSol);
+    std::optional<Solution> roundingHeuristic(const std::vector<double>& x);
+    std::optional<Solution> divingHeuristic(const std::vector<double>& x);
+    void branchOn(const BranchDecision& dec, const std::vector<double>& x);
+    NodePtr popNextNode();
+    void pruneOpenNodes();
+    void finishIfDone();
+    void updatePseudocost(const Node& node, double lpObj);
+    double childEstimate(double parentObj, int var, double frac, bool up) const;
+    bool integralObjective() const;
+    double cutoffSlack() const;
+};
+
+}  // namespace cip

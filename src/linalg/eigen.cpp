@@ -1,0 +1,80 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace linalg {
+
+EigenSystem symmetricEigen(const Matrix& a, int maxSweeps) {
+    assert(a.rows() == a.cols());
+    assert(a.symmetryError() < 1e-7);
+    const std::size_t n = a.rows();
+    Matrix d = a;
+    d.symmetrize();
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        // Off-diagonal Frobenius norm as convergence measure.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+        if (off < 1e-24) break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = d(p, q);
+                if (std::fabs(apq) < 1e-300) continue;
+                const double app = d(p, p);
+                const double aqq = d(q, q);
+                const double tau = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan(theta).
+                const double t = (tau >= 0.0)
+                                     ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                     : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dkp = d(k, p);
+                    const double dkq = d(k, q);
+                    d(k, p) = c * dkp - s * dkq;
+                    d(k, q) = s * dkp + c * dkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dpk = d(p, k);
+                    const double dqk = d(q, k);
+                    d(p, k) = c * dpk - s * dqk;
+                    d(q, k) = s * dpk + c * dqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+    EigenSystem sys;
+    sys.values.resize(n);
+    sys.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        sys.values[j] = d(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i) sys.vectors(i, j) = v(i, order[j]);
+    }
+    return sys;
+}
+
+double smallestEigenvalue(const Matrix& a) {
+    return symmetricEigen(a).values.front();
+}
+
+}  // namespace linalg

@@ -1,0 +1,144 @@
+#include "linalg/factor.hpp"
+
+#include <cmath>
+
+namespace linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a, double tol) {
+    assert(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+        if (d <= tol) return std::nullopt;
+        const double ljj = std::sqrt(d);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+            l(i, j) = s / ljj;
+        }
+    }
+    return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+    const std::size_t n = l_.rows();
+    assert(b.size() == n);
+    Vector y(n);
+    // Forward substitution L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+        y[i] = s / l_(i, i);
+    }
+    // Back substitution L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+        x[ii] = s / l_(ii, ii);
+    }
+    return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+    Matrix x(b.rows(), b.cols());
+    Vector col(b.rows());
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+        for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+        Vector sol = solve(col);
+        for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+    }
+    return x;
+}
+
+double Cholesky::logDet() const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+    return 2.0 * s;
+}
+
+namespace {
+
+/// In-place LU with partial pivoting; returns pivot rows, or nullopt if
+/// singular.
+std::optional<std::vector<std::size_t>> luFactor(Matrix& a, double tol) {
+    const std::size_t n = a.rows();
+    std::vector<std::size_t> piv(n);
+    for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t best = k;
+        double bestAbs = std::fabs(a(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::fabs(a(i, k));
+            if (v > bestAbs) {
+                bestAbs = v;
+                best = i;
+            }
+        }
+        if (bestAbs <= tol) return std::nullopt;
+        if (best != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(best, j));
+            std::swap(piv[k], piv[best]);
+        }
+        const double akk = a(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double m = a(i, k) / akk;
+            a(i, k) = m;
+            if (m == 0.0) continue;
+            for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+        }
+    }
+    return piv;
+}
+
+Vector luBacksolve(const Matrix& lu, const std::vector<std::size_t>& piv,
+                   const Vector& b) {
+    const std::size_t n = lu.rows();
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = b[piv[i]];
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < i; ++k) x[i] -= lu(i, k) * x[k];
+    for (std::size_t ii = n; ii-- > 0;) {
+        for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= lu(ii, k) * x[k];
+        x[ii] /= lu(ii, ii);
+    }
+    return x;
+}
+
+}  // namespace
+
+std::optional<Vector> luSolve(const Matrix& a, const Vector& b, double tol) {
+    assert(a.rows() == a.cols() && a.rows() == b.size());
+    Matrix lu = a;
+    auto piv = luFactor(lu, tol);
+    if (!piv) return std::nullopt;
+    return luBacksolve(lu, *piv, b);
+}
+
+std::optional<Matrix> luInverse(const Matrix& a, double tol) {
+    assert(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    Matrix lu = a;
+    auto piv = luFactor(lu, tol);
+    if (!piv) return std::nullopt;
+    Matrix inv(n, n);
+    Vector e(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        e[j] = 1.0;
+        Vector col = luBacksolve(lu, *piv, e);
+        e[j] = 0.0;
+        for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    }
+    return inv;
+}
+
+bool isPositiveSemidefinite(const Matrix& a, double eps) {
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += eps;
+    return Cholesky::factor(shifted, 0.0).has_value();
+}
+
+}  // namespace linalg

@@ -1,0 +1,48 @@
+// Dense factorizations: Cholesky (LL^T), LDL^T with symmetric pivoting-free
+// Bunch-Kaufman-lite fallback, and a pivoted LU solve for general systems.
+//
+// Used by the interior-point SDP solver (Schur complement systems, search
+// directions) and by the simplex basis refactorization.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+class Cholesky {
+public:
+    /// Factorize; fails (returns nullopt) on a non-PD pivot <= tol.
+    static std::optional<Cholesky> factor(const Matrix& a, double tol = 1e-12);
+
+    /// Solve A x = b.
+    Vector solve(const Vector& b) const;
+
+    /// Solve A X = B column-wise.
+    Matrix solve(const Matrix& b) const;
+
+    /// log(det(A)) = 2 * sum log L_ii.
+    double logDet() const;
+
+    const Matrix& lower() const { return l_; }
+
+private:
+    explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+    Matrix l_;
+};
+
+/// Solve a general square linear system A x = b by LU with partial pivoting.
+/// Returns std::nullopt if A is (numerically) singular.
+std::optional<Vector> luSolve(const Matrix& a, const Vector& b, double tol = 1e-12);
+
+/// Invert a general square matrix by LU with partial pivoting.
+/// Returns std::nullopt if singular.
+std::optional<Matrix> luInverse(const Matrix& a, double tol = 1e-12);
+
+/// Check positive semidefiniteness via Cholesky of A + eps*I.
+bool isPositiveSemidefinite(const Matrix& a, double eps = 1e-9);
+
+}  // namespace linalg

@@ -1,0 +1,70 @@
+// LP problem container shared by the simplex solver and the CIP framework.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One sparse row: lhs <= sum coef_k * x_{idx_k} <= rhs.
+struct Row {
+    std::vector<std::pair<int, double>> coefs;
+    double lhs = -kInf;
+    double rhs = kInf;
+    std::string name;
+
+    Row() = default;
+    Row(std::vector<std::pair<int, double>> c, double l, double r,
+        std::string n = {})
+        : coefs(std::move(c)), lhs(l), rhs(r), name(std::move(n)) {}
+
+    /// Evaluate the row activity for a dense point x.
+    double activity(const std::vector<double>& x) const {
+        double a = 0.0;
+        for (const auto& [j, v] : coefs) a += v * x[j];
+        return a;
+    }
+};
+
+/// One column: objective coefficient and bounds.
+struct Col {
+    double obj = 0.0;
+    double lb = 0.0;
+    double ub = kInf;
+    std::string name;
+};
+
+/// A linear program: minimize c'x subject to row ranges and column bounds.
+class LpModel {
+public:
+    int addCol(double obj, double lb, double ub, std::string name = {}) {
+        cols_.push_back({obj, lb, ub, std::move(name)});
+        return static_cast<int>(cols_.size()) - 1;
+    }
+
+    int addRow(Row row) {
+        rows_.push_back(std::move(row));
+        return static_cast<int>(rows_.size()) - 1;
+    }
+
+    int numCols() const { return static_cast<int>(cols_.size()); }
+    int numRows() const { return static_cast<int>(rows_.size()); }
+
+    const Col& col(int j) const { return cols_[j]; }
+    Col& col(int j) { return cols_[j]; }
+    const Row& row(int i) const { return rows_[i]; }
+    Row& row(int i) { return rows_[i]; }
+
+    const std::vector<Col>& cols() const { return cols_; }
+    const std::vector<Row>& rows() const { return rows_; }
+
+private:
+    std::vector<Col> cols_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace lp

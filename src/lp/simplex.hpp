@@ -1,0 +1,119 @@
+// Bounded-variable revised simplex (primal phase I/II + dual reoptimize).
+//
+// This plays the role CPLEX/SoPlex play for SCIP in the paper: the LP
+// relaxation engine under branch-and-cut. It supports
+//   * solving from scratch (composite phase-1 primal simplex),
+//   * adding rows (cuts) and reoptimizing with the dual simplex,
+//   * changing column bounds (branching) and reoptimizing dually,
+//   * dual values and reduced costs (needed for reduced-cost fixing and
+//     dual-ascent-style bound reasoning in the Steiner solver).
+//
+// The basis inverse is kept explicitly (dense) with rank-one pivot updates
+// and periodic refactorization; instances in this project are small enough
+// that the O(m^2)/iteration cost is not the bottleneck.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace lp {
+
+enum class SolveStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterLimit,
+    NumericalTrouble,
+};
+
+const char* toString(SolveStatus s);
+
+class SimplexSolver {
+public:
+    SimplexSolver() = default;
+
+    /// Load a model (copies rows/cols into internal column-wise form).
+    void load(const LpModel& model);
+
+    /// Solve from scratch (fresh slack basis, primal phase I/II).
+    SolveStatus solve();
+
+    /// Append rows (e.g. separated cuts) and reoptimize with dual simplex.
+    SolveStatus addRowsAndResolve(const std::vector<Row>& rows);
+
+    /// Change bounds of a structural column and reoptimize dually.
+    /// Multiple bound changes may be batched before a single resolve().
+    void changeBounds(int col, double lb, double ub);
+
+    /// Change the side bounds (lhs/rhs) of an existing row — equivalent to
+    /// re-bounding its slack variable. Used for node-locally activated rows
+    /// (constraint branching).
+    void changeRowBounds(int row, double lhs, double rhs) {
+        changeBounds(n_ + row, lhs, rhs);
+    }
+
+    /// Reoptimize after bound changes (dual simplex; falls back to a fresh
+    /// primal solve on numerical trouble).
+    SolveStatus resolve();
+
+    // -- solution access (valid after Optimal) ------------------------------
+    double objective() const { return obj_; }
+    const std::vector<double>& primal() const { return primalX_; }
+    /// Dual multiplier of row i (sign convention: c - A'y are the reduced
+    /// costs; y_i >= 0 for binding >= rows, <= 0 for binding <= rows).
+    const std::vector<double>& duals() const { return dualY_; }
+    /// Reduced cost of structural column j.
+    const std::vector<double>& reducedCosts() const { return redCost_; }
+
+    long iterations() const { return totalIters_; }
+    int numRows() const { return m_; }
+    int numCols() const { return n_; }
+
+    /// Iteration limit per (re)solve; guards against cycling in pathological
+    /// cases. Default is generous.
+    void setIterLimit(long lim) { iterLimit_ = lim; }
+
+private:
+    enum VStat : unsigned char { AtLower, AtUpper, Basic, FreeZero };
+
+    // Column-wise sparse matrix over [structural | slack] variables.
+    struct SparseCol {
+        std::vector<std::pair<int, double>> entries;  // (row, coef)
+    };
+
+    int n_ = 0;  ///< structural columns
+    int m_ = 0;  ///< rows
+    std::vector<SparseCol> cols_;   ///< size n_ + m_ (slack j has single -1)
+    std::vector<double> cost_;      ///< size n_ + m_ (slack cost 0)
+    std::vector<double> lb_, ub_;   ///< size n_ + m_
+    std::vector<VStat> vstat_;      ///< size n_ + m_
+    std::vector<int> basic_;        ///< size m_: variable index basic in row
+    std::vector<std::vector<double>> binv_;  ///< m_ x m_ explicit B^{-1}
+    std::vector<double> xb_;        ///< basic variable values
+    std::vector<double> xn_;        ///< cached nonbasic values (all vars)
+
+    double obj_ = 0.0;
+    std::vector<double> primalX_, dualY_, redCost_;
+    long totalIters_ = 0;
+    long iterLimit_ = 200000;
+    bool basisValid_ = false;
+
+    // -- internals -----------------------------------------------------------
+    double nonbasicValue(int j) const;
+    void computeBasicSolution();
+    bool refactorize();  ///< recompute binv_ from basic_; false if singular
+    void pivot(int enter, int leaveRow, const std::vector<double>& w,
+               double t, VStat enterFrom);
+    void priceDuals(const std::vector<double>& cb, std::vector<double>& y) const;
+    double columnDot(int j, const std::vector<double>& y) const;
+    void ftran(int j, std::vector<double>& w) const;  ///< w = B^{-1} a_j
+
+    SolveStatus primalSimplex(bool phase1Allowed);
+    SolveStatus dualSimplex();
+    double infeasibilitySum() const;
+    void extractSolution();
+    void setupSlackBasis();
+};
+
+}  // namespace lp

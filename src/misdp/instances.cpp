@@ -1,0 +1,259 @@
+#include "misdp/instances.hpp"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "linalg/factor.hpp"
+
+namespace misdp {
+
+using linalg::Matrix;
+
+MisdpProblem genTrussTopology(int gridW, int gridH, double cbarFactor,
+                              std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    // Nodes on a gridW x gridH lattice; the left column is clamped
+    // (supports), all other nodes are free with 2 dofs each.
+    struct Node {
+        double x, y;
+        bool fixed;
+        int dof;  ///< first dof index, -1 if fixed
+    };
+    std::vector<Node> nodes;
+    int ndof = 0;
+    for (int i = 0; i < gridW; ++i)
+        for (int j = 0; j < gridH; ++j) {
+            Node n{double(i), double(j), i == 0, -1};
+            if (!n.fixed) {
+                n.dof = ndof;
+                ndof += 2;
+            }
+            nodes.push_back(n);
+        }
+    // Bars between nodes within distance < 1.6 (axis + diagonal neighbors).
+    struct Bar {
+        int p, q;
+        double len;
+        std::vector<double> gamma;  ///< dof-space direction embedding
+    };
+    std::vector<Bar> bars;
+    for (std::size_t p = 0; p < nodes.size(); ++p) {
+        for (std::size_t q = p + 1; q < nodes.size(); ++q) {
+            const double dx = nodes[q].x - nodes[p].x;
+            const double dy = nodes[q].y - nodes[p].y;
+            const double len = std::hypot(dx, dy);
+            if (len > 1.6) continue;
+            if (nodes[p].fixed && nodes[q].fixed) continue;
+            Bar b{int(p), int(q), len, std::vector<double>(ndof, 0.0)};
+            const double cx = dx / len, cy = dy / len;
+            if (!nodes[p].fixed) {
+                b.gamma[nodes[p].dof] = cx;
+                b.gamma[nodes[p].dof + 1] = cy;
+            }
+            if (!nodes[q].fixed) {
+                b.gamma[nodes[q].dof] = -cx;
+                b.gamma[nodes[q].dof + 1] = -cy;
+            }
+            bars.push_back(std::move(b));
+        }
+    }
+    const int nb = static_cast<int>(bars.size());
+
+    // Load: unit force with random direction at the top-right free node.
+    std::uniform_real_distribution<double> angle(-1.0, 1.0);
+    std::vector<double> f(ndof, 0.0);
+    const int loadNode = gridW * gridH - 1;
+    const double fy = -1.0, fx = 0.4 * angle(rng);
+    f[nodes[loadNode].dof] = fx;
+    f[nodes[loadNode].dof + 1] = fy;
+
+    // Full-structure stiffness (unit areas) and its compliance f' K^{-1} f.
+    const double area = 1.0;
+    Matrix kFull(ndof, ndof);
+    std::vector<Matrix> kBar(nb);
+    for (int j = 0; j < nb; ++j) {
+        kBar[j] = Matrix(ndof, ndof);
+        const double s = area / bars[j].len;
+        for (int r = 0; r < ndof; ++r) {
+            if (bars[j].gamma[r] == 0.0) continue;
+            for (int c = 0; c < ndof; ++c)
+                kBar[j](r, c) += s * bars[j].gamma[r] * bars[j].gamma[c];
+        }
+        kFull += kBar[j];
+    }
+    double cFull = 1.0;
+    if (auto chol = linalg::Cholesky::factor(kFull, 1e-10)) {
+        linalg::Vector u = chol->solve(f);
+        cFull = linalg::dot(f, u);
+    }
+    const double cbar = cbarFactor * cFull;
+
+    MisdpProblem p;
+    p.init(nb);
+    std::ostringstream nm;
+    nm << "ttd" << gridW << "x" << gridH << "_s" << seed;
+    p.name = nm.str();
+    p.family = "TTD";
+    for (int j = 0; j < nb; ++j) {
+        p.obj[j] = -bars[j].len * area;  // maximize -volume
+        p.lb[j] = 0.0;
+        p.ub[j] = 1.0;
+        p.isInt[j] = true;
+    }
+    // Compliance block: [[cbar, f'], [f, K(z)]] >= 0.
+    sdp::SdpBlock blk;
+    blk.dim = 1 + ndof;
+    blk.c = Matrix(blk.dim, blk.dim);
+    blk.c(0, 0) = cbar;
+    for (int r = 0; r < ndof; ++r) {
+        blk.c(0, r + 1) = f[r];
+        blk.c(r + 1, 0) = f[r];
+    }
+    blk.a.assign(nb, Matrix{});
+    for (int j = 0; j < nb; ++j) {
+        Matrix a(blk.dim, blk.dim);
+        for (int r = 0; r < ndof; ++r)
+            for (int c = 0; c < ndof; ++c)
+                a(r + 1, c + 1) = -kBar[j](r, c);
+        blk.a[j] = std::move(a);
+    }
+    p.addBlock(std::move(blk));
+    return p;
+}
+
+MisdpProblem genCardinalityLS(int d, int n, int k, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    Matrix a(d, n);
+    for (int i = 0; i < d; ++i)
+        for (int j = 0; j < n; ++j) a(i, j) = gauss(rng);
+    // Planted k-sparse ground truth + noise.
+    std::vector<double> xTrue(n, 0.0);
+    for (int j = 0; j < k; ++j) xTrue[j] = gauss(rng);
+    std::vector<double> b(d, 0.0);
+    for (int i = 0; i < d; ++i) {
+        for (int j = 0; j < n; ++j) b[i] += a(i, j) * xTrue[j];
+        b[i] += 0.1 * gauss(rng);
+    }
+    const double bigM = 5.0;
+    double tMax = 1.0;
+    for (int i = 0; i < d; ++i) tMax += b[i] * b[i];
+    tMax *= 4.0;
+
+    MisdpProblem p;
+    // Variables: x_0..x_{n-1}, z_0..z_{n-1}, t.
+    p.init(2 * n + 1);
+    std::ostringstream nm;
+    nm << "cls" << d << "x" << n << "k" << k << "_s" << seed;
+    p.name = nm.str();
+    p.family = "CLS";
+    const int tVar = 2 * n;
+    for (int j = 0; j < n; ++j) {
+        p.lb[j] = -bigM;
+        p.ub[j] = bigM;
+        p.lb[n + j] = 0.0;
+        p.ub[n + j] = 1.0;
+        p.isInt[n + j] = true;
+    }
+    p.lb[tVar] = 0.0;
+    p.ub[tVar] = tMax;
+    p.obj[tVar] = -1.0;  // maximize -t == minimize residual
+
+    // |x_j| <= M z_j and cardinality.
+    std::vector<std::pair<int, double>> card;
+    for (int j = 0; j < n; ++j) {
+        p.linearRows.push_back(
+            lp::Row({{j, 1.0}, {n + j, -bigM}}, -lp::kInf, 0.0));
+        p.linearRows.push_back(
+            lp::Row({{j, 1.0}, {n + j, bigM}}, 0.0, lp::kInf));
+        card.emplace_back(n + j, 1.0);
+    }
+    p.linearRows.push_back(lp::Row(std::move(card), -lp::kInf, double(k)));
+
+    // Epigraph block: [[I, Ax-b], [(Ax-b)', t]] >= 0.
+    sdp::SdpBlock blk;
+    blk.dim = d + 1;
+    blk.c = Matrix(blk.dim, blk.dim);
+    for (int i = 0; i < d; ++i) {
+        blk.c(i, i) = 1.0;
+        blk.c(i, d) = -b[i];
+        blk.c(d, i) = -b[i];
+    }
+    blk.a.assign(p.numVars, Matrix{});
+    for (int j = 0; j < n; ++j) {
+        Matrix m(blk.dim, blk.dim);
+        for (int i = 0; i < d; ++i) {
+            m(i, d) = -a(i, j);
+            m(d, i) = -a(i, j);
+        }
+        blk.a[j] = std::move(m);
+    }
+    Matrix mt(blk.dim, blk.dim);
+    mt(d, d) = -1.0;
+    blk.a[tVar] = std::move(mt);
+    p.addBlock(std::move(blk));
+    return p;
+}
+
+MisdpProblem genMinKPartition(int n, int k, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> weight(0.5, 3.0);
+    // Same-part indicator X_ij for i < j.
+    auto varOf = [n](int i, int j) {
+        // Index in the upper-triangle enumeration.
+        int idx = 0;
+        for (int r = 0; r < i; ++r) idx += n - 1 - r;
+        return idx + (j - i - 1);
+    };
+    const int nv = n * (n - 1) / 2;
+    MisdpProblem p;
+    p.init(nv);
+    std::ostringstream nm;
+    nm << "mkp" << n << "k" << k << "_s" << seed;
+    p.name = nm.str();
+    p.family = "MkP";
+    std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) {
+            w[i][j] = weight(rng);
+            const int v = varOf(i, j);
+            p.lb[v] = 0.0;
+            p.ub[v] = 1.0;
+            p.isInt[v] = true;
+            p.obj[v] = -w[i][j];  // maximize -cut-within... minimize weight
+        }
+    // Transitivity triangles.
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            for (int l = j + 1; l < n; ++l) {
+                const int ij = varOf(i, j), jl = varOf(j, l), il = varOf(i, l);
+                p.linearRows.push_back(lp::Row(
+                    {{ij, 1.0}, {jl, 1.0}, {il, -1.0}}, -lp::kInf, 1.0));
+                p.linearRows.push_back(lp::Row(
+                    {{ij, 1.0}, {il, 1.0}, {jl, -1.0}}, -lp::kInf, 1.0));
+                p.linearRows.push_back(lp::Row(
+                    {{jl, 1.0}, {il, 1.0}, {ij, -1.0}}, -lp::kInf, 1.0));
+            }
+    // PSD block: M_ii = 1, M_ij = (k X_ij - 1)/(k-1) — feasible iff the
+    // equivalence relation has at most k classes.
+    sdp::SdpBlock blk;
+    blk.dim = n;
+    blk.c = Matrix(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            blk.c(i, j) = (i == j) ? 1.0 : -1.0 / (k - 1);
+    blk.a.assign(nv, Matrix{});
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) {
+            Matrix m(n, n);
+            m(i, j) = -double(k) / (k - 1);
+            m(j, i) = -double(k) / (k - 1);
+            blk.a[varOf(i, j)] = std::move(m);
+        }
+    p.addBlock(std::move(blk));
+    return p;
+}
+
+}  // namespace misdp

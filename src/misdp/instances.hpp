@@ -1,0 +1,29 @@
+// Generators for the three CBLIB families of Table 4 / Figure 1:
+//   TTD  — truss topology design with binary bars (compliance constraint as
+//          a Schur-complement SDP block over a 2D ground structure);
+//   CLS  — cardinality-constrained least squares (epigraph SDP block,
+//          big-M cardinality coupling);
+//   MkP  — minimum k-partitioning (binary same-part variables, triangle
+//          inequalities, PSD matrix constraint).
+#pragma once
+
+#include <cstdint>
+
+#include "misdp/problem.hpp"
+
+namespace misdp {
+
+/// Truss topology design: `gridW` x `gridH` node grid (left column
+/// supported, load at the right), binary bar selection, compliance bound
+/// `cbarFactor` times the full structure's compliance.
+MisdpProblem genTrussTopology(int gridW, int gridH, double cbarFactor,
+                              std::uint64_t seed = 1);
+
+/// Cardinality-constrained least squares: d observations, n regressors,
+/// at most k nonzeros.
+MisdpProblem genCardinalityLS(int d, int n, int k, std::uint64_t seed = 1);
+
+/// Minimum k-partitioning on a random weighted complete graph with n nodes.
+MisdpProblem genMinKPartition(int n, int k, std::uint64_t seed = 1);
+
+}  // namespace misdp

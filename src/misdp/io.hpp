@@ -1,0 +1,21 @@
+// Extended sparse-SDPA (.dat-s) I/O for MISDPs — the file format SCIP-SDP
+// consumes (SDPA with a "*INTEGER" section marking integer variables; see
+// Gally/Pfetsch/Ulbrich 2018). Linear rows are stored as a diagonal block,
+// the standard SDPA convention (negative block size).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "misdp/problem.hpp"
+
+namespace misdp {
+
+bool writeSdpa(std::ostream& os, const MisdpProblem& prob);
+std::optional<MisdpProblem> readSdpa(std::istream& is);
+
+bool writeSdpaFile(const std::string& path, const MisdpProblem& prob);
+std::optional<MisdpProblem> readSdpaFile(const std::string& path);
+
+}  // namespace misdp

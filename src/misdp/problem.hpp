@@ -1,0 +1,47 @@
+// Mixed-integer semidefinite program (paper problem (8)):
+//
+//   sup  b'y
+//   s.t. C_k - sum_i A_{k,i} y_i >= 0   for every block k
+//        linear rows on y (optional)
+//        l <= y <= u,  y_i integer for i in I
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "sdp/problem.hpp"
+
+namespace misdp {
+
+struct MisdpProblem {
+    int numVars = 0;
+    std::vector<double> obj;  ///< maximize obj'y
+    std::vector<double> lb, ub;
+    std::vector<bool> isInt;
+    std::vector<sdp::SdpBlock> blocks;
+    std::vector<lp::Row> linearRows;
+    std::string name;
+    std::string family;  ///< "TTD", "CLS", "MkP" (benchmark bookkeeping)
+
+    void init(int m) {
+        numVars = m;
+        obj.assign(m, 0.0);
+        lb.assign(m, -1e30);
+        ub.assign(m, 1e30);
+        isInt.assign(m, false);
+    }
+
+    void addBlock(sdp::SdpBlock block) { blocks.push_back(std::move(block)); }
+
+    /// Check PSD blocks + linear rows + bounds + integrality of a point.
+    bool isFeasible(const std::vector<double>& y, double tol = 1e-6) const;
+
+    double objective(const std::vector<double>& y) const {
+        double s = 0.0;
+        for (int i = 0; i < numVars; ++i) s += obj[i] * y[i];
+        return s;
+    }
+};
+
+}  // namespace misdp

@@ -1,0 +1,36 @@
+#include "misdp/solver.hpp"
+
+#include "misdp/plugins.hpp"
+
+namespace misdp {
+
+cip::Model MisdpSolver::buildModel() const {
+    cip::Model m;
+    for (int i = 0; i < prob_.numVars; ++i)
+        m.addVar(-prob_.obj[i], prob_.lb[i], prob_.ub[i], prob_.isInt[i]);
+    for (const lp::Row& r : prob_.linearRows) m.addLinear(r);
+    return m;
+}
+
+MisdpResult MisdpSolver::makeResult(const cip::Solver& solver) {
+    MisdpResult res;
+    res.status = solver.status();
+    res.stats = solver.stats();
+    res.dualBound = -solver.dualBound();
+    if (solver.incumbent().valid()) {
+        res.objective = -solver.incumbent().obj;
+        res.y = solver.incumbent().x;
+    }
+    return res;
+}
+
+MisdpResult MisdpSolver::solve(const cip::ParamSet& params) const {
+    cip::Solver solver;
+    solver.setModel(buildModel());
+    solver.params().merge(params);
+    installMisdpPlugins(solver, prob_);
+    solver.solve();
+    return makeResult(solver);
+}
+
+}  // namespace misdp

@@ -1,0 +1,38 @@
+// MisdpSolver — sequential SCIP-SDP-analogue facade over the CIP framework.
+#pragma once
+
+#include "cip/solver.hpp"
+#include "misdp/problem.hpp"
+
+namespace misdp {
+
+struct MisdpResult {
+    cip::Status status = cip::Status::Unsolved;
+    double objective = -1e100;  ///< best feasible value of sup obj'y
+    double dualBound = 1e100;   ///< proven upper bound on sup obj'y
+    std::vector<double> y;
+    cip::Stats stats;
+};
+
+class MisdpSolver {
+public:
+    explicit MisdpSolver(MisdpProblem prob) : prob_(std::move(prob)) {}
+
+    const MisdpProblem& problem() const { return prob_; }
+
+    /// The CIP model (minimization of -obj'y with the linear rows; PSD
+    /// blocks live in the plugins).
+    cip::Model buildModel() const;
+
+    /// Solve sequentially. "misdp/solvemode" in `params` selects "lp"
+    /// (eigenvector cuts) or "sdp" (nonlinear branch-and-bound; default).
+    MisdpResult solve(const cip::ParamSet& params = {}) const;
+
+    /// Translate a finished CIP state into max-sense MISDP terms.
+    static MisdpResult makeResult(const cip::Solver& solver);
+
+private:
+    MisdpProblem prob_;
+};
+
+}  // namespace misdp

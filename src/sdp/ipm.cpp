@@ -1,0 +1,373 @@
+#include "sdp/ipm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/factor.hpp"
+
+namespace sdp {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+
+const char* toString(SdpStatus s) {
+    switch (s) {
+        case SdpStatus::Optimal: return "optimal";
+        case SdpStatus::Infeasible: return "infeasible";
+        case SdpStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+Matrix SdpBlock::zMatrix(const std::vector<double>& y) const {
+    Matrix z = c;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].empty() || y[i] == 0.0) continue;
+        Matrix term = a[i];
+        term *= y[i];
+        z -= term;
+    }
+    return z;
+}
+
+bool SdpProblem::isFeasible(const std::vector<double>& y, double tol) const {
+    for (int i = 0; i < numVars; ++i)
+        if (y[i] < lb[i] - tol || y[i] > ub[i] + tol) return false;
+    for (const SdpBlock& blk : blocks) {
+        if (linalg::smallestEigenvalue(blk.zMatrix(y)) < -tol) return false;
+    }
+    return true;
+}
+
+double SdpProblem::objective(const std::vector<double>& y) const {
+    double s = 0.0;
+    for (int i = 0; i < numVars; ++i) s += b[i] * y[i];
+    return s;
+}
+
+namespace {
+
+constexpr double kBoundInf = 1e29;
+
+struct InternalBlock {
+    int dim;
+    Matrix c;
+    std::vector<Matrix> a;  ///< per internal variable (empty = zero)
+};
+
+/// Largest step alpha in (0, 1] keeping m + alpha*d positive definite,
+/// found by backtracking Cholesky tests.
+double maxPsdStep(const Matrix& m, const Matrix& d) {
+    double alpha = 1.0;
+    for (int iter = 0; iter < 80; ++iter) {
+        Matrix trial = d;
+        trial *= alpha;
+        trial += m;
+        if (Cholesky::factor(trial, 1e-14).has_value()) return alpha;
+        alpha *= 0.8;
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+SdpResult solveSdp(const SdpProblem& prob, const IpmOptions& opts) {
+    SdpResult res;
+    const int m = prob.numVars;
+
+    // --- eliminate fixed variables ------------------------------------------
+    std::vector<int> freeIdx;
+    std::vector<double> fixedVal(m, 0.0);
+    std::vector<bool> isFixed(m, false);
+    double fixedObj = 0.0;
+    for (int i = 0; i < m; ++i) {
+        if (prob.ub[i] - prob.lb[i] < 1e-9) {
+            isFixed[i] = true;
+            fixedVal[i] = 0.5 * (prob.lb[i] + prob.ub[i]);
+            fixedObj += prob.b[i] * fixedVal[i];
+        } else {
+            freeIdx.push_back(i);
+        }
+    }
+    const int mf = static_cast<int>(freeIdx.size());
+
+    // --- internal augmented problem -----------------------------------------
+    // Variables: free originals (0..mf-1) plus the penalty radius r (mf).
+    const int mi = mf + 1;
+    std::vector<InternalBlock> blocks;
+    std::vector<double> bi(mi, 0.0);
+    for (int k = 0; k < mf; ++k) bi[k] = prob.b[freeIdx[k]];
+    bi[mf] = -opts.penaltyGamma;
+
+    for (const SdpBlock& ub : prob.blocks) {
+        InternalBlock blk;
+        blk.dim = ub.dim;
+        blk.c = ub.c;
+        // Substitute fixed variables into C.
+        for (int i = 0; i < m; ++i) {
+            if (!isFixed[i] || ub.a.empty() ||
+                static_cast<int>(ub.a.size()) <= i || ub.a[i].empty() ||
+                fixedVal[i] == 0.0)
+                continue;
+            Matrix term = ub.a[i];
+            term *= fixedVal[i];
+            blk.c -= term;
+        }
+        blk.a.assign(mi, Matrix{});
+        for (int k = 0; k < mf; ++k) {
+            const int i = freeIdx[k];
+            if (static_cast<int>(ub.a.size()) > i && !ub.a[i].empty())
+                blk.a[k] = ub.a[i];
+        }
+        // Penalty: Z = C - A*(y) + r I, i.e. A_pen = -I.
+        Matrix negI = Matrix::identity(ub.dim);
+        negI *= -1.0;
+        blk.a[mf] = std::move(negI);
+        blocks.push_back(std::move(blk));
+    }
+    // Bound blocks (1x1) for finite bounds of free variables.
+    for (int k = 0; k < mf; ++k) {
+        const int i = freeIdx[k];
+        if (prob.lb[i] > -kBoundInf) {
+            InternalBlock blk;
+            blk.dim = 1;
+            blk.c = Matrix(1, 1, -prob.lb[i]);
+            blk.a.assign(mi, Matrix{});
+            blk.a[k] = Matrix(1, 1, -1.0);  // Z = y_k - l
+            blocks.push_back(std::move(blk));
+        }
+        if (prob.ub[i] < kBoundInf) {
+            InternalBlock blk;
+            blk.dim = 1;
+            blk.c = Matrix(1, 1, prob.ub[i]);
+            blk.a.assign(mi, Matrix{});
+            blk.a[k] = Matrix(1, 1, 1.0);  // Z = u - y_k
+            blocks.push_back(std::move(blk));
+        }
+    }
+    // Penalty non-negativity block: Z = r.
+    {
+        InternalBlock blk;
+        blk.dim = 1;
+        blk.c = Matrix(1, 1, 0.0);
+        blk.a.assign(mi, Matrix{});
+        blk.a[mf] = Matrix(1, 1, -1.0);
+        blocks.push_back(std::move(blk));
+    }
+    const int nBlocks = static_cast<int>(blocks.size());
+
+    // --- initial point --------------------------------------------------------
+    std::vector<double> y(mi, 0.0);
+    for (int k = 0; k < mf; ++k) {
+        const int i = freeIdx[k];
+        const bool hasL = prob.lb[i] > -kBoundInf;
+        const bool hasU = prob.ub[i] < kBoundInf;
+        if (hasL && hasU)
+            y[k] = 0.5 * (prob.lb[i] + prob.ub[i]);
+        else if (hasL)
+            y[k] = prob.lb[i] + 1.0;
+        else if (hasU)
+            y[k] = prob.ub[i] - 1.0;
+    }
+    // Radius large enough for strict feasibility of the user blocks.
+    double r0 = 1.0;
+    {
+        std::vector<double> yProbe = y;
+        yProbe[mf] = 0.0;
+        for (int kb = 0; kb < nBlocks; ++kb) {
+            // Only user blocks carry the penalty; probing all is harmless.
+            Matrix z = blocks[kb].c;
+            for (int j = 0; j < mi; ++j) {
+                if (blocks[kb].a[j].empty() || yProbe[j] == 0.0) continue;
+                Matrix t = blocks[kb].a[j];
+                t *= yProbe[j];
+                z -= t;
+            }
+            if (blocks[kb].dim > 1 || !blocks[kb].a[mf].empty()) {
+                if (blocks[kb].a[mf].empty()) continue;
+                const double lam = linalg::smallestEigenvalue(z);
+                r0 = std::max(r0, -lam + 1.0);
+            }
+        }
+    }
+    y[mf] = r0;
+
+    std::vector<Matrix> X(nBlocks);
+    int totalDim = 0;
+    for (int kb = 0; kb < nBlocks; ++kb) {
+        X[kb] = Matrix::identity(blocks[kb].dim);
+        totalDim += blocks[kb].dim;
+    }
+
+    auto zOf = [&](int kb) {
+        Matrix z = blocks[kb].c;
+        for (int j = 0; j < mi; ++j) {
+            if (blocks[kb].a[j].empty() || y[j] == 0.0) continue;
+            Matrix t = blocks[kb].a[j];
+            t *= y[j];
+            z -= t;
+        }
+        return z;
+    };
+
+    // --- main IPM loop ---------------------------------------------------------
+    double lastAlpha = 1.0;
+    int iter = 0;
+    for (; iter < opts.maxIters; ++iter) {
+        std::vector<Matrix> Z(nBlocks), Zinv(nBlocks);
+        bool zOk = true;
+        for (int kb = 0; kb < nBlocks && zOk; ++kb) {
+            Z[kb] = zOf(kb);
+            auto chol = Cholesky::factor(Z[kb], 1e-300);
+            if (!chol) {
+                zOk = false;
+                break;
+            }
+            Zinv[kb] = chol->solve(Matrix::identity(blocks[kb].dim));
+            Zinv[kb].symmetrize();
+        }
+        if (!zOk) break;  // lost dual interiority: numerical failure
+
+        double gap = 0.0;
+        for (int kb = 0; kb < nBlocks; ++kb)
+            gap += linalg::frobeniusDot(X[kb], Z[kb]);
+        const double mu = gap / totalDim;
+
+        // Primal residuals rp_i = b_i - <A_i, X>.
+        std::vector<double> rp(mi, 0.0);
+        for (int j = 0; j < mi; ++j) {
+            double s = bi[j];
+            for (int kb = 0; kb < nBlocks; ++kb)
+                if (!blocks[kb].a[j].empty())
+                    s -= linalg::frobeniusDot(blocks[kb].a[j], X[kb]);
+            rp[j] = s;
+        }
+        double rpNorm = 0.0;
+        for (double v : rp) rpNorm = std::max(rpNorm, std::fabs(v));
+        const double objScale = 1.0 + std::fabs(fixedObj) +
+                                std::fabs(prob.objective(fixedVal));
+        if (mu < opts.gapTol * objScale && rpNorm < opts.feasTol * objScale)
+            break;
+
+        const double sigma = lastAlpha > 0.7 ? 0.2 : 0.5;
+        const double muTarget = sigma * mu;
+
+        // Schur complement M dy = rp - g, with
+        //   M_ij = sum_k <A_i, sym(X A_j Z^{-1})>,  g_i = <A_i, mu Z^{-1}-X>.
+        Matrix M(mi, mi);
+        std::vector<double> rhs(mi, 0.0);
+        for (int kb = 0; kb < nBlocks; ++kb) {
+            const InternalBlock& blk = blocks[kb];
+            std::vector<int> act;
+            for (int j = 0; j < mi; ++j)
+                if (!blk.a[j].empty()) act.push_back(j);
+            if (act.empty()) continue;
+            std::vector<Matrix> u(act.size());
+            for (std::size_t jj = 0; jj < act.size(); ++jj) {
+                Matrix t = X[kb] * blk.a[act[jj]];
+                u[jj] = t * Zinv[kb];
+            }
+            for (std::size_t ii = 0; ii < act.size(); ++ii) {
+                for (std::size_t jj = 0; jj < act.size(); ++jj) {
+                    M(act[ii], act[jj]) +=
+                        0.5 * (linalg::frobeniusDot(blk.a[act[ii]], u[jj]) +
+                               linalg::frobeniusDot(blk.a[act[jj]], u[ii]));
+                }
+                Matrix gTerm = Zinv[kb];
+                gTerm *= muTarget;
+                gTerm -= X[kb];
+                rhs[act[ii]] -=
+                    linalg::frobeniusDot(blk.a[act[ii]], gTerm);
+            }
+        }
+        for (int j = 0; j < mi; ++j) {
+            rhs[j] += rp[j];
+            M(j, j) += 1e-12;  // tiny regularization
+        }
+        std::vector<double> dy;
+        if (auto chol = Cholesky::factor(M, 1e-300)) {
+            dy = chol->solve(rhs);
+        } else if (auto lu = linalg::luSolve(M, rhs)) {
+            dy = *lu;
+        } else {
+            break;  // singular Schur complement
+        }
+
+        // Directions and step sizes.
+        double alphaP = 1.0, alphaD = 1.0;
+        std::vector<Matrix> dX(nBlocks);
+        for (int kb = 0; kb < nBlocks; ++kb) {
+            Matrix dZ(blocks[kb].dim, blocks[kb].dim);
+            for (int j = 0; j < mi; ++j) {
+                if (blocks[kb].a[j].empty() || dy[j] == 0.0) continue;
+                Matrix t = blocks[kb].a[j];
+                t *= dy[j];
+                dZ -= t;
+            }
+            // dX = mu Z^{-1} - X - X dZ Z^{-1}, symmetrized.
+            Matrix d = Zinv[kb];
+            d *= muTarget;
+            d -= X[kb];
+            Matrix corr = (X[kb] * dZ) * Zinv[kb];
+            d -= corr;
+            d.symmetrize();
+            dX[kb] = std::move(d);
+            alphaP = std::min(alphaP, maxPsdStep(X[kb], dX[kb]));
+            alphaD = std::min(alphaD, maxPsdStep(Z[kb], dZ));
+        }
+        alphaP *= 0.98;
+        alphaD *= 0.98;
+        if (alphaP < 1e-10 && alphaD < 1e-10) break;  // stalled
+        for (int kb = 0; kb < nBlocks; ++kb) {
+            Matrix step = dX[kb];
+            step *= alphaP;
+            X[kb] += step;
+        }
+        for (int j = 0; j < mi; ++j) y[j] += alphaD * dy[j];
+        lastAlpha = std::min(alphaP, alphaD);
+    }
+    res.iterations = iter;
+
+    // --- extract result ---------------------------------------------------------
+    res.penalty = std::max(0.0, y[mf]);
+    res.y.assign(m, 0.0);
+    for (int i = 0; i < m; ++i) res.y[i] = fixedVal[i];
+    for (int k = 0; k < mf; ++k) {
+        const int i = freeIdx[k];
+        res.y[i] = std::clamp(y[k], prob.lb[i], prob.ub[i]);
+    }
+    res.objective = prob.objective(res.y);
+
+    // Primal upper bound on sup b'y (weak duality on the augmented problem,
+    // with a safety margin for the residual primal infeasibility).
+    double primalObj = fixedObj;
+    double rpMargin = 0.0;
+    {
+        double ymax = 1.0;
+        for (int k = 0; k < mf; ++k) ymax = std::max(ymax, std::fabs(y[k]));
+        for (int kb = 0; kb < nBlocks; ++kb)
+            primalObj += linalg::frobeniusDot(blocks[kb].c, X[kb]);
+        for (int j = 0; j < mi; ++j) {
+            double s = bi[j];
+            for (int kb = 0; kb < nBlocks; ++kb)
+                if (!blocks[kb].a[j].empty())
+                    s -= linalg::frobeniusDot(blocks[kb].a[j], X[kb]);
+            rpMargin += std::fabs(s) * (10.0 + 10.0 * ymax);
+        }
+    }
+    res.upperBound = primalObj + rpMargin;
+
+    if (iter >= opts.maxIters) {
+        res.status = SdpStatus::Failed;
+        return res;
+    }
+    if (res.penalty > opts.penaltyTol) {
+        res.status = SdpStatus::Infeasible;
+        return res;
+    }
+    res.status = SdpStatus::Optimal;
+    return res;
+}
+
+}  // namespace sdp

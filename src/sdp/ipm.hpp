@@ -1,0 +1,44 @@
+// Primal-dual interior-point method (HKM direction) for dual-form SDPs,
+// with the penalty formulation SCIP-SDP applies when the Slater condition
+// fails (paper section 3.2): an auxiliary radius variable r >= 0 augments
+// every block to C - A*(y) + r I >= 0 and is driven to zero by a large
+// penalty; r* > 0 at optimality certifies (near-)infeasibility.
+#pragma once
+
+#include "sdp/problem.hpp"
+
+namespace sdp {
+
+enum class SdpStatus {
+    Optimal,     ///< converged, penalty ~ 0
+    Infeasible,  ///< penalty stayed positive: no feasible y exists
+    Failed,      ///< iteration limit / numerical breakdown
+};
+
+const char* toString(SdpStatus s);
+
+struct SdpResult {
+    SdpStatus status = SdpStatus::Failed;
+    std::vector<double> y;        ///< solution (sup b'y)
+    double objective = 0.0;       ///< b'y at the returned point
+    /// Valid upper bound on sup b'y from the primal side (weak duality);
+    /// this is what the MISDP branch-and-bound prunes with.
+    double upperBound = 0.0;
+    double penalty = 0.0;         ///< final penalty value r*
+    int iterations = 0;
+};
+
+struct IpmOptions {
+    int maxIters = 150;
+    double gapTol = 1e-8;         ///< relative complementarity gap
+    double feasTol = 1e-7;        ///< primal residual tolerance
+    double penaltyGamma = 1e5;    ///< penalty weight for the radius variable
+    double penaltyTol = 1e-6;     ///< r* above this => infeasible
+};
+
+/// Solve max b'y s.t. all blocks PSD, bounds on y.
+/// Variables with lb == ub are eliminated before the IPM runs, so
+/// branching-fixed variables do not break strict interiority.
+SdpResult solveSdp(const SdpProblem& prob, const IpmOptions& opts = {});
+
+}  // namespace sdp

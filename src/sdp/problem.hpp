@@ -1,0 +1,50 @@
+// Dual-form semidefinite program container (the paper's problem (8) without
+// integrality):
+//
+//   sup  b'y
+//   s.t. C_k - sum_i A_{k,i} y_i  >= 0   (PSD, per block k)
+//        l <= y <= u
+//
+// This is the continuous relaxation the MISDP solver's nonlinear
+// branch-and-bound solves at every node (the role Mosek plays for SCIP-SDP).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sdp {
+
+struct SdpBlock {
+    int dim = 0;
+    linalg::Matrix c;                ///< constant matrix C (dim x dim)
+    std::vector<linalg::Matrix> a;   ///< A_i per variable; empty matrix = 0
+
+    /// Z(y) = C - sum A_i y_i for this block.
+    linalg::Matrix zMatrix(const std::vector<double>& y) const;
+};
+
+struct SdpProblem {
+    int numVars = 0;
+    std::vector<double> b;   ///< maximize b'y
+    std::vector<double> lb;  ///< -inf allowed
+    std::vector<double> ub;  ///< +inf allowed
+    std::vector<SdpBlock> blocks;
+
+    void init(int m) {
+        numVars = m;
+        b.assign(m, 0.0);
+        lb.assign(m, -1e30);
+        ub.assign(m, 1e30);
+    }
+
+    /// Add a block; matrices indexed per variable (zero matrices allowed).
+    void addBlock(SdpBlock block) { blocks.push_back(std::move(block)); }
+
+    /// Feasibility check of a point (PSD via Cholesky with tolerance).
+    bool isFeasible(const std::vector<double>& y, double tol = 1e-6) const;
+
+    double objective(const std::vector<double>& y) const;
+};
+
+}  // namespace sdp

@@ -1,0 +1,111 @@
+#include "steiner/dualascent.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace steiner {
+
+namespace {
+
+/// Arc head/tail for the 2e / 2e+1 convention.
+inline int arcTail(const Graph& g, int a) {
+    const Edge& e = g.edge(a / 2);
+    return (a % 2 == 0) ? e.u : e.v;
+}
+inline int arcHead(const Graph& g, int a) {
+    const Edge& e = g.edge(a / 2);
+    return (a % 2 == 0) ? e.v : e.u;
+}
+
+}  // namespace
+
+DualAscentResult dualAscent(const Graph& g, int root, int maxCuts) {
+    DualAscentResult res;
+    if (root < 0) root = g.rootTerminal();
+    res.root = root;
+    res.redCost.assign(2 * static_cast<std::size_t>(g.numEdges()), kInfCost);
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (g.edge(e).deleted) continue;
+        res.redCost[2 * e] = g.edge(e).cost;
+        res.redCost[2 * e + 1] = g.edge(e).cost;
+    }
+    if (root < 0) return res;
+
+    std::vector<int> terms = g.terminals();
+    std::vector<char> reached(g.numVertices(), 0);
+    std::vector<char> inComp(g.numVertices(), 0);
+
+    // A terminal t is satisfied when a zero-reduced-cost path root -> t
+    // exists. We grow t's "cut component": vertices that reach t via
+    // zero-rc arcs; while root is outside, raise duals on entering arcs.
+    auto findComponent = [&](int t, std::vector<int>& comp) -> bool {
+        // Backward BFS from t along zero-rc arcs (v -> t direction means we
+        // look at arcs a with head inside the component).
+        std::fill(inComp.begin(), inComp.end(), 0);
+        comp.clear();
+        std::queue<int> q;
+        q.push(t);
+        inComp[t] = 1;
+        comp.push_back(t);
+        while (!q.empty()) {
+            const int v = q.front();
+            q.pop();
+            if (v == root) return true;  // connected
+            for (int e : g.incident(v)) {
+                if (g.edge(e).deleted) continue;
+                const int w = g.edge(e).other(v);
+                if (inComp[w]) continue;
+                // Arc w -> v has zero reduced cost?
+                const int a = (g.edge(e).u == w) ? 2 * e : 2 * e + 1;
+                if (res.redCost[a] <= 1e-12) {
+                    inComp[w] = 1;
+                    comp.push_back(w);
+                    q.push(w);
+                }
+            }
+        }
+        return false;
+    };
+
+    bool progress = true;
+    int guard = 0;
+    const int guardLimit = 50 * g.numEdges() + 1000;
+    while (progress && guard++ < guardLimit) {
+        progress = false;
+        for (int t : terms) {
+            if (t == root || reached[t]) continue;
+            std::vector<int> comp;
+            if (findComponent(t, comp)) {
+                reached[t] = 1;
+                continue;
+            }
+            // Entering arcs: tail outside comp, head inside.
+            double delta = kInfCost;
+            std::vector<int> entering;
+            for (int v : comp) {
+                for (int e : g.incident(v)) {
+                    if (g.edge(e).deleted) continue;
+                    const int w = g.edge(e).other(v);
+                    if (inComp[w]) continue;
+                    const int a = (g.edge(e).u == w) ? 2 * e : 2 * e + 1;
+                    entering.push_back(a);
+                    delta = std::min(delta, res.redCost[a]);
+                }
+            }
+            if (entering.empty() || delta >= kInfCost) {
+                res.disconnected = true;
+                res.lowerBound = kInfCost;
+                return res;
+            }
+            for (int a : entering) res.redCost[a] -= delta;
+            res.lowerBound += delta;
+            if (static_cast<int>(res.cuts.size()) >= maxCuts)
+                res.cuts.erase(res.cuts.begin());
+            res.cuts.push_back(std::move(entering));
+            progress = true;
+        }
+    }
+    return res;
+}
+
+}  // namespace steiner

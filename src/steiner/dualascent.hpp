@@ -1,0 +1,30 @@
+// Wong's dual ascent for the Steiner arborescence problem (reference [55] of
+// the paper). Produces a lower bound, reduced costs on arcs, and the cut
+// rows raised along the way — SCIP-Jack uses exactly these to seed the
+// initial LP and to drive bound-based reductions/propagation.
+//
+// Arc indexing convention (shared with the LP model builder): edge e yields
+// arc 2e (u -> v) and arc 2e+1 (v -> u); deleted edges have no usable arcs.
+#pragma once
+
+#include <vector>
+
+#include "steiner/graph.hpp"
+
+namespace steiner {
+
+struct DualAscentResult {
+    double lowerBound = 0.0;
+    bool disconnected = false;      ///< some terminal unreachable from root
+    std::vector<double> redCost;    ///< size 2*numEdges
+    /// Cut sets raised during the ascent: each entry is the arc-id list of a
+    /// violated directed Steiner cut (usable as initial LP rows).
+    std::vector<std::vector<int>> cuts;
+    int root = -1;
+};
+
+/// Run dual ascent rooted at `root` (default: first terminal).
+/// `maxCuts` bounds the number of recorded cut rows (most recent kept).
+DualAscentResult dualAscent(const Graph& g, int root = -1, int maxCuts = 512);
+
+}  // namespace steiner

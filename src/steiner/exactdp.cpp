@@ -1,0 +1,71 @@
+#include "steiner/exactdp.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace steiner {
+
+std::optional<double> steinerDpOptimal(const Graph& g, int maxTerminals) {
+    const std::vector<int> terms = g.terminals();
+    const int t = static_cast<int>(terms.size());
+    if (t > maxTerminals) return std::nullopt;
+    if (t <= 1) return 0.0;
+    const int n = g.numVertices();
+    // dp[S][v]: min cost of a tree connecting terminal subset S (over the
+    // first t-1 terminals) together with vertex v.
+    const int full = (1 << (t - 1)) - 1;
+    std::vector<std::vector<double>> dp(
+        full + 1, std::vector<double>(n, kInfCost));
+
+    using QI = std::pair<double, int>;
+    auto relax = [&](std::vector<double>& d) {
+        // Multi-source Dijkstra completing dp[S][*] over graph edges.
+        std::priority_queue<QI, std::vector<QI>, std::greater<>> q;
+        for (int v = 0; v < n; ++v)
+            if (d[v] < kInfCost) q.push({d[v], v});
+        while (!q.empty()) {
+            auto [dist, v] = q.top();
+            q.pop();
+            if (dist > d[v]) continue;
+            for (int e : g.incident(v)) {
+                const Edge& ed = g.edge(e);
+                if (ed.deleted) continue;
+                const int w = ed.other(v);
+                if (dist + ed.cost < d[w] - 1e-12) {
+                    d[w] = dist + ed.cost;
+                    q.push({d[w], w});
+                }
+            }
+        }
+    };
+
+    // Singletons.
+    for (int i = 0; i < t - 1; ++i) {
+        const int s = 1 << i;
+        dp[s][terms[i]] = 0.0;
+        relax(dp[s]);
+    }
+    // Larger subsets: merge two sub-trees at v, then re-relax.
+    for (int s = 1; s <= full; ++s) {
+        if ((s & (s - 1)) == 0) continue;  // singleton: done
+        auto& d = dp[s];
+        for (int sub = (s - 1) & s; sub > 0; sub = (sub - 1) & s) {
+            const int rest = s ^ sub;
+            if (sub < rest) continue;  // each split once
+            const auto& a = dp[sub];
+            const auto& b = dp[rest];
+            for (int v = 0; v < n; ++v) {
+                if (a[v] < kInfCost && b[v] < kInfCost) {
+                    const double c = a[v] + b[v];
+                    if (c < d[v]) d[v] = c;
+                }
+            }
+        }
+        relax(d);
+    }
+    const double ans = dp[full][terms[t - 1]];
+    if (ans >= kInfCost) return std::nullopt;
+    return ans;
+}
+
+}  // namespace steiner

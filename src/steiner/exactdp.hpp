@@ -1,0 +1,25 @@
+// Exact Steiner tree via the Dreyfus-Wagner / Erickson-Monma-Veinott
+// dynamic program over terminal subsets, O(3^t n + 2^t m log n).
+//
+// Used as the ground-truth oracle in tests (|T| <= ~12) — the branch-and-cut
+// solver must reproduce these optima exactly — and as the FPT comparison
+// point the paper mentions for the PACE 2018 challenge tracks.
+#pragma once
+
+#include <optional>
+
+#include "steiner/graph.hpp"
+
+namespace steiner {
+
+struct DpResult {
+    double cost = kInfCost;
+    /// Note: the DP reconstructs the optimal cost only (edge recovery is
+    /// not needed for its oracle role).
+};
+
+/// Optimal Steiner tree cost; nullopt if terminals are disconnected or the
+/// terminal count exceeds `maxTerminals` (guard against exponential blowup).
+std::optional<double> steinerDpOptimal(const Graph& g, int maxTerminals = 14);
+
+}  // namespace steiner

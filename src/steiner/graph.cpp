@@ -1,0 +1,176 @@
+#include "steiner/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace steiner {
+
+void Graph::reset(int numVertices) {
+    edges_.clear();
+    adj_.assign(numVertices, {});
+    terminal_.assign(numVertices, false);
+    alive_.assign(numVertices, true);
+    numTerminals_ = 0;
+}
+
+int Graph::addVertex() {
+    adj_.emplace_back();
+    terminal_.push_back(false);
+    alive_.push_back(true);
+    return numVertices() - 1;
+}
+
+int Graph::addEdge(int u, int v, double cost, int originId) {
+    assert(u != v);
+    const int id = static_cast<int>(edges_.size());
+    Edge e;
+    e.u = u;
+    e.v = v;
+    e.cost = cost;
+    e.origin.push_back(originId < 0 ? id : originId);
+    edges_.push_back(std::move(e));
+    adj_[u].push_back(id);
+    adj_[v].push_back(id);
+    return id;
+}
+
+int Graph::numActiveEdges() const {
+    int c = 0;
+    for (const Edge& e : edges_)
+        if (!e.deleted) ++c;
+    return c;
+}
+
+int Graph::numActiveVertices() const {
+    int c = 0;
+    for (bool a : alive_)
+        if (a) ++c;
+    return c;
+}
+
+void Graph::setTerminal(int v, bool t) {
+    if (terminal_[v] == t) return;
+    terminal_[v] = t;
+    numTerminals_ += t ? 1 : -1;
+}
+
+std::vector<int> Graph::terminals() const {
+    std::vector<int> out;
+    for (int v = 0; v < numVertices(); ++v)
+        if (terminal_[v] && alive_[v]) out.push_back(v);
+    return out;
+}
+
+int Graph::rootTerminal() const {
+    for (int v = 0; v < numVertices(); ++v)
+        if (terminal_[v] && alive_[v]) return v;
+    return -1;
+}
+
+int Graph::degree(int v) const {
+    int d = 0;
+    for (int e : adj_[v])
+        if (!edges_[e].deleted) ++d;
+    return d;
+}
+
+void Graph::removeFromAdj(int v, int e) {
+    auto& a = adj_[v];
+    a.erase(std::remove(a.begin(), a.end(), e), a.end());
+}
+
+void Graph::deleteEdge(int e) {
+    if (edges_[e].deleted) return;
+    edges_[e].deleted = true;
+    removeFromAdj(edges_[e].u, e);
+    removeFromAdj(edges_[e].v, e);
+}
+
+void Graph::deleteVertex(int v) {
+    assert(!terminal_[v]);
+    assert(degree(v) == 0);
+    alive_[v] = false;
+}
+
+void Graph::contractEdge(int e, int to) {
+    Edge& ce = edges_[e];
+    assert(!ce.deleted);
+    assert(to == ce.u || to == ce.v);
+    const int from = ce.other(to);
+    deleteEdge(e);
+    if (terminal_[from]) {
+        setTerminal(from, false);
+        setTerminal(to, true);
+    }
+    // Re-home `from`'s edges to `to`.
+    std::vector<int> fromEdges = adj_[from];
+    for (int fe : fromEdges) {
+        Edge& g = edges_[fe];
+        if (g.deleted) continue;
+        const int w = g.other(from);
+        if (w == to) {
+            deleteEdge(fe);  // would become a self-loop
+            continue;
+        }
+        // Check for an existing parallel edge (to, w); keep the cheaper.
+        int parallel = -1;
+        for (int pe : adj_[to]) {
+            const Edge& p = edges_[pe];
+            if (!p.deleted && p.other(to) == w) {
+                parallel = pe;
+                break;
+            }
+        }
+        if (parallel >= 0) {
+            if (edges_[parallel].cost <= g.cost) {
+                deleteEdge(fe);
+                continue;
+            }
+            deleteEdge(parallel);
+        }
+        // Move endpoint from -> to.
+        removeFromAdj(from, fe);
+        if (g.u == from)
+            g.u = to;
+        else
+            g.v = to;
+        adj_[to].push_back(fe);
+    }
+    alive_[from] = false;
+}
+
+double Graph::costOf(const std::vector<int>& edgeIds) const {
+    double c = 0.0;
+    for (int e : edgeIds) c += edges_[e].cost;
+    return c;
+}
+
+bool Graph::spansTerminals(const std::vector<int>& edgeIds) const {
+    std::vector<int> terms = terminals();
+    if (terms.empty()) return true;
+    std::vector<std::vector<int>> nbr(numVertices());
+    for (int e : edgeIds) {
+        if (edges_[e].deleted) return false;
+        nbr[edges_[e].u].push_back(edges_[e].v);
+        nbr[edges_[e].v].push_back(edges_[e].u);
+    }
+    std::vector<bool> seen(numVertices(), false);
+    std::queue<int> q;
+    q.push(terms[0]);
+    seen[terms[0]] = true;
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int w : nbr[v])
+            if (!seen[w]) {
+                seen[w] = true;
+                q.push(w);
+            }
+    }
+    for (int t : terms)
+        if (!seen[t]) return false;
+    return true;
+}
+
+}  // namespace steiner

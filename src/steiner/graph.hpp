@@ -1,0 +1,91 @@
+// Undirected Steiner problem graph with deletion/contraction support and
+// original-edge ancestry, so solutions on the reduced instance can be mapped
+// back to the input instance (as SCIP-Jack does after presolving).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace steiner {
+
+constexpr double kInfCost = 1e100;
+
+struct Edge {
+    int u = -1;
+    int v = -1;
+    double cost = 0.0;
+    bool deleted = false;
+    /// Original-instance edge ids composing this (possibly merged) edge.
+    std::vector<int> origin;
+
+    int other(int w) const { return w == u ? v : u; }
+};
+
+/// The Steiner tree problem instance: graph + terminal set.
+class Graph {
+public:
+    Graph() = default;
+    explicit Graph(int numVertices) { reset(numVertices); }
+
+    void reset(int numVertices);
+
+    /// Append a fresh isolated vertex (used by variant transformations to
+    /// create gadget terminals); returns its index.
+    int addVertex();
+
+    /// Add an edge; `originId` is its id in the *original* instance
+    /// (defaults to the new edge's own id, correct when building inputs).
+    int addEdge(int u, int v, double cost, int originId = -1);
+
+    int numVertices() const { return static_cast<int>(adj_.size()); }
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+    /// Count of non-deleted edges.
+    int numActiveEdges() const;
+    int numActiveVertices() const;
+
+    const Edge& edge(int e) const { return edges_[e]; }
+    Edge& edge(int e) { return edges_[e]; }
+    const std::vector<int>& incident(int v) const { return adj_[v]; }
+
+    bool isTerminal(int v) const { return terminal_[v]; }
+    void setTerminal(int v, bool t);
+    int numTerminals() const { return numTerminals_; }
+    std::vector<int> terminals() const;
+    /// First terminal (used as the arborescence root); -1 if none.
+    int rootTerminal() const;
+
+    bool vertexAlive(int v) const { return alive_[v]; }
+    /// Degree counting only non-deleted edges.
+    int degree(int v) const;
+
+    void deleteEdge(int e);
+    /// Delete an isolated, non-terminal vertex.
+    void deleteVertex(int v);
+
+    /// Contract edge e, merging its endpoint `from` into `to` (both must be
+    /// e's endpoints). Terminal status is inherited by `to`; parallel edges
+    /// keep only the cheapest. The contracted edge's origin chain is
+    /// recorded by the caller (reductions decide whether it is "fixed").
+    void contractEdge(int e, int to);
+
+    /// Sum of costs of a set of edge ids.
+    double costOf(const std::vector<int>& edgeIds) const;
+
+    /// Verify that the edge set forms a connected subgraph spanning all
+    /// terminals (tree-ness not required; used to validate solutions).
+    bool spansTerminals(const std::vector<int>& edgeIds) const;
+
+    std::string name;
+
+private:
+    void removeFromAdj(int v, int e);
+
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<bool> terminal_;
+    std::vector<bool> alive_;
+    int numTerminals_ = 0;
+};
+
+}  // namespace steiner

@@ -1,0 +1,172 @@
+#include "steiner/heuristics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "steiner/shortest.hpp"
+
+namespace steiner {
+
+namespace {
+
+using QI = std::pair<double, int>;
+
+/// TM from a single root using (possibly overridden) costs.
+HeuristicSolution tmFromRoot(const Graph& g, int root,
+                             const std::vector<double>* costOverride) {
+    auto edgeCost = [&](int e) {
+        return costOverride ? (*costOverride)[e] : g.edge(e).cost;
+    };
+    const std::vector<int> terms = g.terminals();
+    HeuristicSolution sol;
+    if (terms.empty()) {
+        sol.cost = 0.0;
+        return sol;
+    }
+    std::vector<bool> inTree(g.numVertices(), false);
+    std::vector<bool> edgeInTree(g.numEdges(), false);
+    inTree[root] = true;
+    int connected = 1;
+
+    std::vector<double> dist(g.numVertices());
+    std::vector<int> pred(g.numVertices());
+    while (connected < static_cast<int>(terms.size())) {
+        // Multi-source Dijkstra from the current tree.
+        std::fill(dist.begin(), dist.end(), kInfCost);
+        std::fill(pred.begin(), pred.end(), -1);
+        std::priority_queue<QI, std::vector<QI>, std::greater<>> q;
+        for (int v = 0; v < g.numVertices(); ++v)
+            if (inTree[v]) {
+                dist[v] = 0.0;
+                q.push({0.0, v});
+            }
+        int best = -1;
+        while (!q.empty()) {
+            auto [d, v] = q.top();
+            q.pop();
+            if (d > dist[v]) continue;
+            if (g.isTerminal(v) && !inTree[v]) {
+                best = v;
+                break;
+            }
+            for (int e : g.incident(v)) {
+                const Edge& ed = g.edge(e);
+                if (ed.deleted) continue;
+                const int w = ed.other(v);
+                const double nd = d + edgeCost(e);
+                if (nd < dist[w] - 1e-12) {
+                    dist[w] = nd;
+                    pred[w] = e;
+                    q.push({nd, w});
+                }
+            }
+        }
+        if (best < 0) return {};  // disconnected
+        // Add the path into the tree.
+        int v = best;
+        while (!inTree[v]) {
+            inTree[v] = true;
+            const int e = pred[v];
+            edgeInTree[e] = true;
+            v = g.edge(e).other(v);
+        }
+        // Recount connected terminals (cheap at our sizes).
+        connected = 0;
+        for (int t : terms)
+            if (inTree[t]) ++connected;
+    }
+    for (int e = 0; e < g.numEdges(); ++e)
+        if (edgeInTree[e]) sol.edges.push_back(e);
+    sol.edges = pruneTree(g, sol.edges);
+    sol.cost = g.costOf(sol.edges);
+    return sol;
+}
+
+std::vector<bool> solutionVertexMask(const Graph& g,
+                                     const HeuristicSolution& sol) {
+    std::vector<bool> mask(g.numVertices(), false);
+    for (int e : sol.edges) {
+        mask[g.edge(e).u] = true;
+        mask[g.edge(e).v] = true;
+    }
+    for (int t : g.terminals()) mask[t] = true;
+    return mask;
+}
+
+}  // namespace
+
+HeuristicSolution tmHeuristic(const Graph& g, int numRoots,
+                              const std::vector<double>* costOverride) {
+    const std::vector<int> terms = g.terminals();
+    HeuristicSolution best;
+    if (terms.empty()) {
+        best.cost = 0.0;
+        return best;
+    }
+    const int tries =
+        std::min<int>(std::max(1, numRoots), static_cast<int>(terms.size()));
+    for (int i = 0; i < tries; ++i) {
+        // Spread the roots over the terminal list.
+        const int root = terms[(i * terms.size()) / tries];
+        HeuristicSolution sol = tmFromRoot(g, root, costOverride);
+        if (sol.valid() && sol.cost < best.cost) best = std::move(sol);
+    }
+    return best;
+}
+
+HeuristicSolution mstPruneImprove(const Graph& g,
+                                  const HeuristicSolution& sol) {
+    if (!sol.valid()) return sol;
+    std::vector<bool> mask = solutionVertexMask(g, sol);
+    bool connected = false;
+    std::vector<int> mst = inducedMst(g, mask, &connected);
+    if (!connected) return sol;
+    mst = pruneTree(g, std::move(mst));
+    HeuristicSolution improved;
+    improved.edges = std::move(mst);
+    improved.cost = g.costOf(improved.edges);
+    if (improved.cost < sol.cost - 1e-12 &&
+        g.spansTerminals(improved.edges))
+        return improved;
+    return sol;
+}
+
+HeuristicSolution vertexEliminationSearch(const Graph& g,
+                                          HeuristicSolution sol,
+                                          int maxRounds) {
+    if (!sol.valid()) return sol;
+    for (int round = 0; round < maxRounds; ++round) {
+        bool improved = false;
+        std::vector<bool> mask = solutionVertexMask(g, sol);
+        for (int v = 0; v < g.numVertices(); ++v) {
+            if (!mask[v] || g.isTerminal(v) || !g.vertexAlive(v)) continue;
+            mask[v] = false;
+            bool connected = false;
+            std::vector<int> mst = inducedMst(g, mask, &connected);
+            if (connected) {
+                mst = pruneTree(g, std::move(mst));
+                const double c = g.costOf(mst);
+                if (c < sol.cost - 1e-12 && g.spansTerminals(mst)) {
+                    sol.edges = std::move(mst);
+                    sol.cost = c;
+                    improved = true;
+                    mask = solutionVertexMask(g, sol);
+                    continue;
+                }
+            }
+            mask[v] = true;
+        }
+        if (!improved) break;
+    }
+    return sol;
+}
+
+HeuristicSolution primalHeuristic(const Graph& g, int numRoots,
+                                  const std::vector<double>* costOverride) {
+    HeuristicSolution sol = tmHeuristic(g, numRoots, costOverride);
+    sol = mstPruneImprove(g, sol);
+    sol = vertexEliminationSearch(g, std::move(sol));
+    return sol;
+}
+
+}  // namespace steiner

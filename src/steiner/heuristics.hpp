@@ -1,0 +1,42 @@
+// Primal heuristics for the Steiner tree problem: the repetitive
+// shortest-path heuristic of Takahashi-Matsuyama (SCIP-Jack's "TM"), an
+// MST-prune improvement, and a Steiner-vertex elimination local search.
+// tmHeuristic accepts per-edge cost overrides so the branch-and-cut can run
+// it LP-guided (costs scaled by 1 - y_LP), which is how SCIP-Jack turns
+// fractional relaxation solutions into strong primal solutions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "steiner/graph.hpp"
+
+namespace steiner {
+
+struct HeuristicSolution {
+    std::vector<int> edges;  ///< edge ids in g
+    double cost = kInfCost;  ///< true cost (original edge costs)
+    bool valid() const { return cost < kInfCost; }
+};
+
+/// Takahashi-Matsuyama from up to `numRoots` different start terminals;
+/// `costOverride` (if non-empty, size numEdges) biases the path searches but
+/// the returned cost is always measured in true edge costs.
+HeuristicSolution tmHeuristic(const Graph& g, int numRoots = 8,
+                              const std::vector<double>* costOverride = nullptr);
+
+/// Improve a solution by rebuilding the MST over its vertices and pruning.
+HeuristicSolution mstPruneImprove(const Graph& g, const HeuristicSolution& sol);
+
+/// Steiner-vertex elimination local search: try dropping each non-terminal
+/// solution vertex; accept improving rebuilds. `maxRounds` caps the loop.
+HeuristicSolution vertexEliminationSearch(const Graph& g,
+                                          HeuristicSolution sol,
+                                          int maxRounds = 3);
+
+/// Full heuristic pipeline: TM + MST-prune + local search.
+HeuristicSolution primalHeuristic(const Graph& g, int numRoots = 8,
+                                  const std::vector<double>* costOverride =
+                                      nullptr);
+
+}  // namespace steiner

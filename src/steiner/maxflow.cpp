@@ -1,0 +1,103 @@
+#include "steiner/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace steiner {
+
+namespace {
+constexpr double kFlowEps = 1e-9;
+}
+
+MaxFlow::MaxFlow(int numNodes) : n_(numNodes), adj_(numNodes) {}
+
+int MaxFlow::addArc(int from, int to, double capacity) {
+    const int id = static_cast<int>(arcRef_.size());
+    adj_[from].push_back({to, static_cast<int>(adj_[to].size()), capacity});
+    adj_[to].push_back({from, static_cast<int>(adj_[from].size()) - 1, 0.0});
+    arcRef_.emplace_back(from, static_cast<int>(adj_[from].size()) - 1);
+    capSaved_.push_back(capacity);
+    return id;
+}
+
+void MaxFlow::setCapacity(int arc, double capacity) {
+    auto [v, idx] = arcRef_[arc];
+    adj_[v][idx].cap = capacity;
+    // Reset the reverse residual as well.
+    Arc& fwd = adj_[v][idx];
+    adj_[fwd.to][fwd.rev].cap = 0.0;
+    capSaved_[arc] = capacity;
+}
+
+void MaxFlow::clearFlow() {
+    for (std::size_t a = 0; a < arcRef_.size(); ++a) setCapacity(a, capSaved_[a]);
+}
+
+bool MaxFlow::bfsLevel(int s, int t) {
+    level_.assign(n_, -1);
+    std::queue<int> q;
+    level_[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (const Arc& a : adj_[v]) {
+            if (a.cap > kFlowEps && level_[a.to] < 0) {
+                level_[a.to] = level_[v] + 1;
+                q.push(a.to);
+            }
+        }
+    }
+    return level_[t] >= 0;
+}
+
+double MaxFlow::dfsAugment(int v, int t, double pushed) {
+    if (v == t) return pushed;
+    for (int& i = iter_[v]; i < static_cast<int>(adj_[v].size()); ++i) {
+        Arc& a = adj_[v][i];
+        if (a.cap > kFlowEps && level_[a.to] == level_[v] + 1) {
+            const double d = dfsAugment(a.to, t, std::min(pushed, a.cap));
+            if (d > kFlowEps) {
+                a.cap -= d;
+                adj_[a.to][a.rev].cap += d;
+                return d;
+            }
+        }
+    }
+    return 0.0;
+}
+
+double MaxFlow::solve(int s, int t) {
+    double flow = 0.0;
+    while (bfsLevel(s, t)) {
+        iter_.assign(n_, 0);
+        for (;;) {
+            const double f = dfsAugment(
+                s, t, std::numeric_limits<double>::infinity());
+            if (f <= kFlowEps) break;
+            flow += f;
+        }
+    }
+    return flow;
+}
+
+std::vector<bool> MaxFlow::minCutSourceSide(int s) const {
+    std::vector<bool> side(n_, false);
+    std::queue<int> q;
+    side[s] = true;
+    q.push(s);
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (const Arc& a : adj_[v]) {
+            if (a.cap > kFlowEps && !side[a.to]) {
+                side[a.to] = true;
+                q.push(a.to);
+            }
+        }
+    }
+    return side;
+}
+
+}  // namespace steiner

@@ -1,0 +1,44 @@
+// Dinic max-flow / min-cut on a small directed graph — the separation
+// engine for violated directed Steiner cuts (Formulation 1, constraint (4)).
+#pragma once
+
+#include <vector>
+
+namespace steiner {
+
+class MaxFlow {
+public:
+    explicit MaxFlow(int numNodes);
+
+    /// Add a directed arc; returns its id (for capacity updates / queries).
+    int addArc(int from, int to, double capacity);
+
+    void setCapacity(int arc, double capacity);
+
+    /// Max flow from s to t. Mutates internal flow state; call minCutSourceSide
+    /// afterwards for the cut.
+    double solve(int s, int t);
+
+    /// Vertices reachable from s in the residual network (after solve()).
+    std::vector<bool> minCutSourceSide(int s) const;
+
+    /// Reset flows to zero (capacities kept).
+    void clearFlow();
+
+private:
+    struct Arc {
+        int to;
+        int rev;       ///< index of the reverse arc in adj_[to]
+        double cap;
+    };
+    bool bfsLevel(int s, int t);
+    double dfsAugment(int v, int t, double pushed);
+
+    int n_;
+    std::vector<std::vector<Arc>> adj_;
+    std::vector<std::pair<int, int>> arcRef_;  ///< arc id -> (node, idx)
+    std::vector<double> capSaved_;
+    std::vector<int> level_, iter_;
+};
+
+}  // namespace steiner

@@ -1,0 +1,391 @@
+#include "steiner/plugins.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "steiner/dualascent.hpp"
+#include "steiner/heuristics.hpp"
+#include "steiner/maxflow.hpp"
+#include "steiner/reductions.hpp"
+#include "steiner/shortest.hpp"
+
+namespace steiner {
+
+namespace {
+constexpr double kCutViolationTol = 0.05;
+constexpr int kMaxCutsPerRound = 12;
+}  // namespace
+
+VertexBranchState parseVertexBranches(
+    const SapInstance& inst, const std::vector<cip::CustomBranch>& cbs) {
+    VertexBranchState st(inst.graph.numVertices());
+    for (const cip::CustomBranch& cb : cbs) {
+        if (cb.plugin != kStpPluginName || cb.data.size() != 2) continue;
+        const int v = static_cast<int>(cb.data[0]);
+        if (v < 0 || v >= inst.graph.numVertices()) continue;
+        st.flag[v] = static_cast<signed char>(cb.data[1]);
+    }
+    return st;
+}
+
+// ---------------------------------------------------------------------------
+// StpConshdlr
+// ---------------------------------------------------------------------------
+
+StpConshdlr::StpConshdlr(const SapInstance& inst)
+    : ConstraintHandler(kStpPluginName, 0),
+      inst_(inst),
+      required_(inst.graph.numVertices(), 0) {}
+
+std::vector<std::pair<int, double>> StpConshdlr::inArcCoefs(int v) const {
+    std::vector<std::pair<int, double>> coefs;
+    for (int e : inst_.graph.incident(v)) {
+        if (inst_.graph.edge(e).deleted) continue;
+        const int a = (inst_.graph.edge(e).u == v) ? 2 * e + 1 : 2 * e;
+        if (inst_.arcVar[a] >= 0) coefs.emplace_back(inst_.arcVar[a], 1.0);
+    }
+    return coefs;
+}
+
+void StpConshdlr::nodeActivated(cip::Solver& solver) {
+    const cip::Node* node = solver.currentNode();
+    if (!node) return;
+    VertexBranchState st = parseVertexBranches(inst_, node->desc.customBranches);
+    std::fill(required_.begin(), required_.end(), 0);
+    for (int v = 0; v < inst_.graph.numVertices(); ++v)
+        if (st.flag[v] == 1) required_[v] = 1;
+
+    // In-degree >= 1 rows for required vertices (create lazily).
+    for (int v = 0; v < inst_.graph.numVertices(); ++v) {
+        if (required_[v] && vertexRow_.find(v) == vertexRow_.end()) {
+            auto coefs = inArcCoefs(v);
+            if (coefs.empty()) continue;
+            vertexRow_[v] =
+                solver.addManagedRow(cip::Row(std::move(coefs), 1.0, cip::kInf));
+        }
+    }
+    for (auto& [v, handle] : vertexRow_) {
+        if (required_[v])
+            solver.setManagedRowBounds(handle, 1.0, cip::kInf);
+        else
+            solver.setManagedRowBounds(handle, -cip::kInf, cip::kInf);
+    }
+    // Node-local Steiner cuts separated for required vertices.
+    for (auto& [v, handle] : localCuts_) {
+        if (required_[v])
+            solver.setManagedRowBounds(handle, 1.0, cip::kInf);
+        else
+            solver.setManagedRowBounds(handle, -cip::kInf, cip::kInf);
+    }
+}
+
+bool StpConshdlr::check(cip::Solver&, const std::vector<double>& x) {
+    // Global feasibility: every *real* terminal reachable from the root by
+    // arcs with value 1 (vertex-branching requirements are node-local and
+    // deliberately not part of the global check).
+    const Graph& g = inst_.graph;
+    std::vector<bool> seen(g.numVertices(), false);
+    std::queue<int> q;
+    q.push(inst_.root);
+    seen[inst_.root] = true;
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int e : g.incident(v)) {
+            if (g.edge(e).deleted) continue;
+            const int a = (g.edge(e).u == v) ? 2 * e : 2 * e + 1;  // v -> w
+            const int var = inst_.arcVar[a];
+            if (var < 0 || x[var] < 0.5) continue;
+            const int w = g.edge(e).other(v);
+            if (!seen[w]) {
+                seen[w] = true;
+                q.push(w);
+            }
+        }
+    }
+    for (int t : g.terminals())
+        if (!seen[t]) return false;
+    return true;
+}
+
+int StpConshdlr::separateTarget(cip::Solver& solver,
+                                const std::vector<double>& x, int target,
+                                bool asManaged) {
+    const Graph& g = inst_.graph;
+    MaxFlow mf(g.numVertices());
+    // Arc ids in mf correspond positionally to model vars.
+    for (std::size_t var = 0; var < inst_.varArc.size(); ++var) {
+        const int a = inst_.varArc[var];
+        const Edge& e = g.edge(a / 2);
+        const int tail = (a % 2 == 0) ? e.u : e.v;
+        const int head = (a % 2 == 0) ? e.v : e.u;
+        mf.addArc(tail, head, std::max(0.0, x[var]));
+    }
+    const double flow = mf.solve(inst_.root, target);
+    if (flow >= 1.0 - kCutViolationTol) return 0;
+    std::vector<bool> side = mf.minCutSourceSide(inst_.root);
+    std::vector<std::pair<int, double>> coefs;
+    for (std::size_t var = 0; var < inst_.varArc.size(); ++var) {
+        const int a = inst_.varArc[var];
+        const Edge& e = g.edge(a / 2);
+        const int tail = (a % 2 == 0) ? e.u : e.v;
+        const int head = (a % 2 == 0) ? e.v : e.u;
+        if (side[tail] && !side[head])
+            coefs.emplace_back(static_cast<int>(var), 1.0);
+    }
+    if (coefs.empty()) return 0;
+    if (asManaged) {
+        const int handle =
+            solver.addManagedRow(cip::Row(std::move(coefs), 1.0, cip::kInf));
+        solver.setManagedRowBounds(handle, 1.0, cip::kInf);
+        localCuts_.emplace_back(target, handle);
+    } else {
+        solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
+    }
+    return 1;
+}
+
+int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
+    const Graph& g = inst_.graph;
+    int cuts = 0;
+    for (int t : g.terminals()) {
+        if (t == inst_.root) continue;
+        cuts += separateTarget(solver, x, t, /*asManaged=*/false);
+        if (cuts >= kMaxCutsPerRound) return cuts;
+    }
+    for (int v = 0; v < g.numVertices(); ++v) {
+        if (!required_[v] || g.isTerminal(v)) continue;
+        cuts += separateTarget(solver, x, v, /*asManaged=*/true);
+        if (cuts >= kMaxCutsPerRound) return cuts;
+    }
+    return cuts;
+}
+
+int StpConshdlr::enforce(cip::Solver& solver, const std::vector<double>& x,
+                         cip::BranchDecision&) {
+    return separate(solver, x);
+}
+
+// ---------------------------------------------------------------------------
+// StpVertexBranching
+// ---------------------------------------------------------------------------
+
+StpVertexBranching::StpVertexBranching(const SapInstance& inst)
+    : Branchrule("stp_branch", 100), inst_(inst) {}
+
+cip::BranchDecision StpVertexBranching::branch(cip::Solver& solver,
+                                               const std::vector<double>& x) {
+    cip::BranchDecision dec;
+    if (!solver.params().getBool("stp/vertexbranching", true)) return dec;
+    const cip::Node* node = solver.currentNode();
+    if (!node) return dec;
+    VertexBranchState st = parseVertexBranches(inst_, node->desc.customBranches);
+    const Graph& g = inst_.graph;
+
+    int bestV = -1;
+    double bestScore = 0.1;  // minimum fractionality to prefer vertex branch
+    for (int v = 0; v < g.numVertices(); ++v) {
+        if (!g.vertexAlive(v) || g.isTerminal(v) || v == inst_.root) continue;
+        if (st.flag[v] != -1) continue;
+        double inflow = 0.0;
+        bool anyArc = false;
+        for (int e : g.incident(v)) {
+            if (g.edge(e).deleted) continue;
+            const int a = (g.edge(e).u == v) ? 2 * e + 1 : 2 * e;
+            const int var = inst_.arcVar[a];
+            if (var < 0) continue;
+            anyArc = true;
+            inflow += x[var];
+        }
+        if (!anyArc) continue;
+        const double score = std::min(inflow, 1.0 - inflow);
+        if (score > bestScore) {
+            bestScore = score;
+            bestV = v;
+        }
+    }
+    if (bestV < 0) return dec;  // fall back to arc variable branching
+
+    // Child A: bestV must be part of the solution (in-degree >= 1 managed
+    // row + terminal status for layered presolving/heuristics).
+    cip::BranchDecision::Child inChild;
+    inChild.customBranches.push_back({kStpPluginName, {bestV, 1}});
+    // Child B: bestV deleted — all incident arcs fixed to zero.
+    cip::BranchDecision::Child outChild;
+    for (int e : inst_.graph.incident(bestV)) {
+        if (inst_.graph.edge(e).deleted) continue;
+        for (int dir = 0; dir < 2; ++dir) {
+            const int var = inst_.arcVar[2 * e + dir];
+            if (var >= 0) outChild.boundChanges.push_back({var, 0.0, 0.0});
+        }
+    }
+    outChild.customBranches.push_back({kStpPluginName, {bestV, 0}});
+    dec.children.push_back(std::move(inChild));
+    dec.children.push_back(std::move(outChild));
+    return dec;
+}
+
+// ---------------------------------------------------------------------------
+// StpHeuristic
+// ---------------------------------------------------------------------------
+
+StpHeuristic::StpHeuristic(const SapInstance& inst)
+    : Heuristic("stp_tm", 0), inst_(inst) {}
+
+std::optional<cip::Solution> StpHeuristic::run(cip::Solver& solver,
+                                               const std::vector<double>& x) {
+    const cip::Node* node = solver.currentNode();
+    // Working copy reflecting the node state.
+    Graph h = inst_.graph;
+    if (node) {
+        VertexBranchState st =
+            parseVertexBranches(inst_, node->desc.customBranches);
+        for (int v = 0; v < h.numVertices(); ++v)
+            if (st.flag[v] == 1 && h.vertexAlive(v)) h.setTerminal(v, true);
+    }
+    const auto& ub = solver.localUb();
+    std::vector<double> override(h.numEdges(), kInfCost);
+    for (int e = 0; e < h.numEdges(); ++e) {
+        if (h.edge(e).deleted) continue;
+        const int v0 = inst_.arcVar[2 * e];
+        const int v1 = inst_.arcVar[2 * e + 1];
+        const bool usable = (v0 >= 0 && ub[v0] > 0.5) ||
+                            (v1 >= 0 && ub[v1] > 0.5);
+        if (!usable) {
+            h.deleteEdge(e);
+            continue;
+        }
+        double frac = 0.0;
+        if (v0 >= 0) frac += x[v0];
+        if (v1 >= 0) frac += x[v1];
+        frac = std::min(1.0, frac);
+        override[e] = h.edge(e).cost * (1.0 - frac) + 1e-6;
+    }
+    HeuristicSolution sol = primalHeuristic(h, 4, &override);
+    if (!sol.valid()) return std::nullopt;
+    // Strip branching-required leaves: globally only real terminals matter.
+    std::vector<int> pruned = pruneTree(inst_.graph, sol.edges);
+    cip::Solution out;
+    out.x = treeToModelSolution(inst_, pruned);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// StpSubproblemReducer (layered presolving)
+// ---------------------------------------------------------------------------
+
+StpSubproblemReducer::StpSubproblemReducer(const SapInstance& inst)
+    : Presolver("stp_reduce", 10), inst_(inst) {}
+
+cip::ReduceResult StpSubproblemReducer::presolve(cip::Solver& solver) {
+    if (ran_) return cip::ReduceResult::Unchanged;
+    ran_ = true;
+    if (!solver.params().getBool("stp/layeredpresolve", true))
+        return cip::ReduceResult::Unchanged;
+    const bool extended = solver.params().getBool("stp/extended", true);
+    return reduceSubgraphAndFix(solver, inst_, extended);
+}
+
+StpReductionPropagator::StpReductionPropagator(const SapInstance& inst)
+    : Propagator("stp_redprop", 10), inst_(inst) {}
+
+cip::ReduceResult StpReductionPropagator::propagate(cip::Solver& solver) {
+    const cip::Node* node = solver.currentNode();
+    if (!node || node->id == lastNode_)  // once per node
+        return cip::ReduceResult::Unchanged;
+    const int freq = solver.params().getInt("stp/redprop/freq", 4);
+    if (freq <= 0 || node->depth == 0 || node->depth % freq != 0)
+        return cip::ReduceResult::Unchanged;
+    lastNode_ = node->id;
+    const bool extended = solver.params().getBool("stp/extended", true);
+    return reduceSubgraphAndFix(solver, inst_, extended);
+}
+
+cip::ReduceResult reduceSubgraphAndFix(cip::Solver& solver,
+                                       const SapInstance& inst_,
+                                       bool extended) {
+    // Materialize the subproblem's graph from the local bounds.
+    Graph h = inst_.graph;
+    const auto& ub = solver.localUb();
+    for (int e = 0; e < h.numEdges(); ++e) {
+        if (h.edge(e).deleted) continue;
+        const int v0 = inst_.arcVar[2 * e];
+        const int v1 = inst_.arcVar[2 * e + 1];
+        const bool usable = (v0 >= 0 && ub[v0] > 0.5) ||
+                            (v1 >= 0 && ub[v1] > 0.5);
+        if (!usable) h.deleteEdge(e);
+    }
+    const std::vector<cip::CustomBranch>& cbs =
+        solver.currentNode() ? solver.currentNode()->desc.customBranches
+                             : solver.rootSubproblem().customBranches;
+    VertexBranchState st = parseVertexBranches(inst_, cbs);
+    for (int v = 0; v < h.numVertices(); ++v)
+        if (st.flag[v] == 1 && h.vertexAlive(v)) h.setTerminal(v, true);
+
+    // Deletion-only reduction loop (no contractions: the variable space is
+    // fixed). Because branching has deleted vertices and added terminals,
+    // these tests frequently fire even when root presolving could not.
+    ReductionStats stats;
+    for (int round = 0; round < 2; ++round) {
+        const long long before = stats.edgesDeleted;
+        // Dangling non-terminal chains.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int v = 0; v < h.numVertices(); ++v) {
+                if (!h.vertexAlive(v) || h.isTerminal(v)) continue;
+                if (h.degree(v) == 1) {
+                    for (int e : std::vector<int>(h.incident(v)))
+                        if (!h.edge(e).deleted) h.deleteEdge(e);
+                    ++stats.edgesDeleted;
+                    changed = true;
+                }
+            }
+        }
+        sdTest(h, stats);
+        if (h.numTerminals() > 1) {
+            HeuristicSolution heur = primalHeuristic(h, 4);
+            if (heur.valid())
+                boundBasedTest(h, stats, heur.cost, extended);
+        }
+        if (stats.edgesDeleted == before) break;
+    }
+
+    // Charge deterministic work for the reduction pass.
+    solver.addCost(1 + h.numActiveEdges() / 8);
+
+    // Translate deletions into local arc fixings.
+    bool reduced = false;
+    for (int e = 0; e < h.numEdges(); ++e) {
+        if (!h.edge(e).deleted || inst_.graph.edge(e).deleted) continue;
+        for (int dir = 0; dir < 2; ++dir) {
+            const int var = inst_.arcVar[2 * e + dir];
+            if (var < 0 || ub[var] <= 0.5) continue;
+            const cip::ReduceResult r = solver.tightenUb(var, 0.0);
+            if (r == cip::ReduceResult::Infeasible) return r;
+            reduced |= (r == cip::ReduceResult::Reduced);
+        }
+    }
+    return reduced ? cip::ReduceResult::Reduced
+                   : cip::ReduceResult::Unchanged;
+}
+
+void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
+    solver.addConstraintHandler(std::make_unique<StpConshdlr>(inst));
+    solver.addBranchrule(std::make_unique<StpVertexBranching>(inst));
+    solver.addHeuristic(std::make_unique<StpHeuristic>(inst));
+    solver.addPresolver(std::make_unique<StpSubproblemReducer>(inst));
+    solver.addPropagator(std::make_unique<StpReductionPropagator>(inst));
+    // The generic LP diving heuristic rounds arc variables into meaningless
+    // non-trees; the TM heuristic replaces it.
+    solver.params().setBool("heuristics/diving/enabled", false);
+    // Separate Steiner cuts heavily at the root, sparingly in the tree, and
+    // keep the dense LP lean through the cut pool.
+    if (!solver.params().has("separating/maxroundsroot"))
+        solver.params().setInt("separating/maxroundsroot", 20);
+    solver.params().setInt("separating/maxrounds", 3);
+    solver.params().setInt("separating/maxpoolsize", 250);
+}
+
+}  // namespace steiner

@@ -1,0 +1,114 @@
+// SCIP-Jack-style user plugins for the CIP framework:
+//   StpConshdlr          — lazy separation of directed Steiner cuts (4) via
+//                          max-flow, plus node-local rows for vertex
+//                          branching ("make v a terminal");
+//   StpVertexBranching   — constraint branching on vertices: v-in-solution /
+//                          v-deleted children, transferred between
+//                          ParaSolvers as CustomBranch payloads (the
+//                          ug-0.8.6 feature the paper highlights);
+//   StpHeuristic         — LP-guided TM + local search, mapped back to model
+//                          space;
+//   StpSubproblemReducer — layered presolving: re-runs the (deletion-only)
+//                          reduction tests on each received subproblem's
+//                          modified graph, where the extended tests often
+//                          fire even when root presolving could not (paper
+//                          section 4.1).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cip/plugins.hpp"
+#include "cip/solver.hpp"
+#include "steiner/stpmodel.hpp"
+
+namespace steiner {
+
+/// Plugin name shared by all STP custom-branch payloads.
+inline constexpr const char* kStpPluginName = "stp";
+
+/// Node-local vertex state parsed from custom branches: +1 in-solution,
+/// 0 deleted, absent = unbranched.
+struct VertexBranchState {
+    std::vector<signed char> flag;  ///< -1 unbranched, 0 deleted, 1 required
+    explicit VertexBranchState(int n) : flag(n, -1) {}
+};
+
+VertexBranchState parseVertexBranches(const SapInstance& inst,
+                                      const std::vector<cip::CustomBranch>& cbs);
+
+class StpConshdlr : public cip::ConstraintHandler {
+public:
+    explicit StpConshdlr(const SapInstance& inst);
+
+    bool check(cip::Solver& solver, const std::vector<double>& x) override;
+    int separate(cip::Solver& solver, const std::vector<double>& x) override;
+    int enforce(cip::Solver& solver, const std::vector<double>& x,
+                cip::BranchDecision& decision) override;
+    void nodeActivated(cip::Solver& solver) override;
+
+private:
+    int separateTarget(cip::Solver& solver, const std::vector<double>& x,
+                       int target, bool asManaged);
+    std::vector<std::pair<int, double>> inArcCoefs(int v) const;
+
+    const SapInstance& inst_;
+    std::vector<signed char> required_;  ///< current node: extra terminals
+    std::unordered_map<int, int> vertexRow_;  ///< v -> managed indeg>=1 row
+    std::vector<std::pair<int, int>> localCuts_;  ///< (vertex, row handle)
+};
+
+class StpVertexBranching : public cip::Branchrule {
+public:
+    explicit StpVertexBranching(const SapInstance& inst);
+    cip::BranchDecision branch(cip::Solver& solver,
+                               const std::vector<double>& x) override;
+
+private:
+    const SapInstance& inst_;
+};
+
+class StpHeuristic : public cip::Heuristic {
+public:
+    explicit StpHeuristic(const SapInstance& inst);
+    std::optional<cip::Solution> run(cip::Solver& solver,
+                                     const std::vector<double>& x) override;
+
+private:
+    const SapInstance& inst_;
+};
+
+class StpSubproblemReducer : public cip::Presolver {
+public:
+    explicit StpSubproblemReducer(const SapInstance& inst);
+    cip::ReduceResult presolve(cip::Solver& solver) override;
+
+private:
+    const SapInstance& inst_;
+    bool ran_ = false;
+};
+
+/// In-tree reductions: the same deletion-only reduction loop run as domain
+/// propagation at selected depths ("reduction techniques are extremely
+/// important both in presolving and domain propagation", paper section 3.1).
+class StpReductionPropagator : public cip::Propagator {
+public:
+    explicit StpReductionPropagator(const SapInstance& inst);
+    cip::ReduceResult propagate(cip::Solver& solver) override;
+
+private:
+    const SapInstance& inst_;
+    std::int64_t lastNode_ = -1;
+};
+
+/// Shared deletion-only reduction pass on the subgraph induced by the
+/// solver's current local bounds + vertex-branching state; fixes deleted
+/// edges' arcs to zero via tightenUb.
+cip::ReduceResult reduceSubgraphAndFix(cip::Solver& solver,
+                                       const SapInstance& inst,
+                                       bool extended);
+
+/// Install the full SCIP-Jack-style plugin set into a solver.
+void installStpPlugins(cip::Solver& solver, const SapInstance& inst);
+
+}  // namespace steiner

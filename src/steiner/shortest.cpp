@@ -1,0 +1,152 @@
+#include "steiner/shortest.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace steiner {
+
+namespace {
+using QueueItem = std::pair<double, int>;  // (dist, vertex)
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+}  // namespace
+
+SpResult dijkstra(const Graph& g, int source) {
+    return dijkstraCapped(g, source, kInfCost, -1);
+}
+
+SpResult dijkstraCapped(const Graph& g, int source, double cap, int skipEdge) {
+    SpResult res;
+    res.dist.assign(g.numVertices(), kInfCost);
+    res.predEdge.assign(g.numVertices(), -1);
+    MinQueue q;
+    res.dist[source] = 0.0;
+    q.push({0.0, source});
+    while (!q.empty()) {
+        auto [d, v] = q.top();
+        q.pop();
+        if (d > res.dist[v]) continue;
+        if (d > cap) break;
+        for (int e : g.incident(v)) {
+            if (e == skipEdge) continue;
+            const Edge& ed = g.edge(e);
+            if (ed.deleted) continue;
+            const int w = ed.other(v);
+            const double nd = d + ed.cost;
+            if (nd < res.dist[w] - 1e-12) {
+                res.dist[w] = nd;
+                res.predEdge[w] = e;
+                q.push({nd, w});
+            }
+        }
+    }
+    return res;
+}
+
+Voronoi voronoi(const Graph& g) {
+    Voronoi res;
+    res.base.assign(g.numVertices(), -1);
+    res.dist.assign(g.numVertices(), kInfCost);
+    res.predEdge.assign(g.numVertices(), -1);
+    MinQueue q;
+    for (int v = 0; v < g.numVertices(); ++v) {
+        if (g.vertexAlive(v) && g.isTerminal(v)) {
+            res.base[v] = v;
+            res.dist[v] = 0.0;
+            q.push({0.0, v});
+        }
+    }
+    while (!q.empty()) {
+        auto [d, v] = q.top();
+        q.pop();
+        if (d > res.dist[v]) continue;
+        for (int e : g.incident(v)) {
+            const Edge& ed = g.edge(e);
+            if (ed.deleted) continue;
+            const int w = ed.other(v);
+            const double nd = d + ed.cost;
+            if (nd < res.dist[w] - 1e-12) {
+                res.dist[w] = nd;
+                res.base[w] = res.base[v];
+                res.predEdge[w] = e;
+                q.push({nd, w});
+            }
+        }
+    }
+    return res;
+}
+
+std::vector<int> inducedMst(const Graph& g, const std::vector<bool>& vertexMask,
+                            bool* connected) {
+    // Prim over included vertices.
+    std::vector<int> out;
+    int start = -1, includeCount = 0;
+    for (int v = 0; v < g.numVertices(); ++v) {
+        if (vertexMask[v] && g.vertexAlive(v)) {
+            ++includeCount;
+            if (start < 0) start = v;
+        }
+    }
+    if (connected) *connected = true;
+    if (includeCount <= 1) return out;
+    std::vector<bool> inTree(g.numVertices(), false);
+    std::vector<double> key(g.numVertices(), kInfCost);
+    std::vector<int> keyEdge(g.numVertices(), -1);
+    MinQueue q;
+    key[start] = 0.0;
+    q.push({0.0, start});
+    int added = 0;
+    while (!q.empty()) {
+        auto [d, v] = q.top();
+        q.pop();
+        if (inTree[v] || d > key[v]) continue;
+        inTree[v] = true;
+        ++added;
+        if (keyEdge[v] >= 0) out.push_back(keyEdge[v]);
+        for (int e : g.incident(v)) {
+            const Edge& ed = g.edge(e);
+            if (ed.deleted) continue;
+            const int w = ed.other(v);
+            if (!vertexMask[w] || inTree[w]) continue;
+            if (ed.cost < key[w] - 1e-12) {
+                key[w] = ed.cost;
+                keyEdge[w] = e;
+                q.push({key[w], w});
+            }
+        }
+    }
+    if (added != includeCount) {
+        if (connected) *connected = false;
+        out.clear();
+    }
+    return out;
+}
+
+std::vector<int> pruneTree(const Graph& g, std::vector<int> treeEdges) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<int> deg(g.numVertices(), 0);
+        for (int e : treeEdges) {
+            ++deg[g.edge(e).u];
+            ++deg[g.edge(e).v];
+        }
+        std::vector<int> keep;
+        keep.reserve(treeEdges.size());
+        for (int e : treeEdges) {
+            const Edge& ed = g.edge(e);
+            const bool leafU = deg[ed.u] == 1 && !g.isTerminal(ed.u);
+            const bool leafV = deg[ed.v] == 1 && !g.isTerminal(ed.v);
+            if (leafU || leafV) {
+                changed = true;
+                continue;
+            }
+            keep.push_back(e);
+        }
+        treeEdges.swap(keep);
+    }
+    return treeEdges;
+}
+
+}  // namespace steiner

@@ -1,0 +1,42 @@
+// Shortest paths, Voronoi partition w.r.t. terminals, and minimum spanning
+// trees — shared primitives of the reductions and heuristics.
+#pragma once
+
+#include <vector>
+
+#include "steiner/graph.hpp"
+
+namespace steiner {
+
+struct SpResult {
+    std::vector<double> dist;  ///< kInfCost if unreachable
+    std::vector<int> predEdge; ///< edge used to reach vertex (-1 at sources)
+};
+
+/// Dijkstra from a single source over non-deleted edges.
+SpResult dijkstra(const Graph& g, int source);
+
+/// Dijkstra from `source` with early termination: stops scanning once the
+/// smallest queued distance exceeds `cap` and ignores edge `skipEdge`.
+SpResult dijkstraCapped(const Graph& g, int source, double cap, int skipEdge);
+
+/// Voronoi partition with respect to the terminal set: for each vertex, the
+/// nearest terminal (base) and the distance to it.
+struct Voronoi {
+    std::vector<int> base;     ///< nearest terminal (-1 if unreachable)
+    std::vector<double> dist;
+    std::vector<int> predEdge;
+};
+Voronoi voronoi(const Graph& g);
+
+/// Minimum spanning tree over the subgraph induced by `vertexMask`
+/// (vertexMask[v] true => v included). Returns edge ids; empty if the
+/// induced subgraph is disconnected (flag set false).
+std::vector<int> inducedMst(const Graph& g, const std::vector<bool>& vertexMask,
+                            bool* connected);
+
+/// Remove non-terminal leaves from a tree given as edge ids (iteratively),
+/// returning the pruned edge set.
+std::vector<int> pruneTree(const Graph& g, std::vector<int> treeEdges);
+
+}  // namespace steiner

@@ -1,0 +1,49 @@
+// SteinerSolver — the sequential SCIP-Jack-analogue facade: reductions,
+// SAP transformation, branch-and-cut via the CIP framework, and solution
+// mapping back to the original instance.
+#pragma once
+
+#include "cip/solver.hpp"
+#include "steiner/stpmodel.hpp"
+
+namespace steiner {
+
+struct SteinerResult {
+    cip::Status status = cip::Status::Unsolved;
+    double cost = kInfCost;            ///< total cost (incl. presolve-fixed)
+    double dualBound = -kInfCost;      ///< proven lower bound
+    std::vector<int> originalEdges;    ///< solution edges in the input graph
+    bool solvedByPresolve = false;
+    ReductionStats reductions;
+    cip::Stats stats;
+};
+
+class SteinerSolver {
+public:
+    explicit SteinerSolver(Graph instance) : original_(std::move(instance)) {}
+
+    /// Run the reduction package and build the SAP model. Idempotent.
+    void presolve(bool extendedReductions = true);
+
+    /// The reduced instance + model (valid after presolve()).
+    const SapInstance& instance() const { return inst_; }
+    const ReductionStats& reductionStats() const { return red_; }
+
+    /// Solve sequentially with the given parameters.
+    SteinerResult solve(const cip::ParamSet& params = {});
+
+    /// Convert a CIP solution on the SAP model into a result (tree pruned to
+    /// the real terminals, costs recomputed, edges mapped to the original).
+    SteinerResult makeResult(cip::Status status, const cip::Solution& sol,
+                             double dualBound, const cip::Stats& stats) const;
+
+    const Graph& originalGraph() const { return original_; }
+
+private:
+    Graph original_;
+    SapInstance inst_;
+    ReductionStats red_;
+    bool presolved_ = false;
+};
+
+}  // namespace steiner

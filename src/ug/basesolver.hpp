@@ -1,0 +1,69 @@
+// Abstraction of the "base solver" UG parallelizes.
+//
+// Each ParaSolver owns one BaseSolver instance per received subproblem; a
+// fresh instance is created on every assignment so that presolving runs
+// again on the subproblem — the paper's layered presolving.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "cip/model.hpp"
+#include "cip/node.hpp"
+#include "cip/params.hpp"
+
+namespace ug {
+
+enum class BaseStatus {
+    Working,
+    Optimal,      ///< subproblem fully solved (or pruned empty)
+    Infeasible,
+    Interrupted,
+    Failed,
+};
+
+class BaseSolver {
+public:
+    virtual ~BaseSolver() = default;
+
+    /// Load a subproblem; `incumbent` may be null. Implementations run their
+    /// (layered) presolve lazily on the first step.
+    virtual void load(const cip::SubproblemDesc& desc,
+                      const cip::Solution* incumbent) = 0;
+
+    /// Process one unit of work (one B&B node); returns deterministic cost.
+    virtual std::int64_t step() = 0;
+
+    virtual bool finished() const = 0;
+    virtual BaseStatus status() const = 0;
+
+    virtual double dualBound() const = 0;
+    virtual int numOpenNodes() const = 0;
+    virtual std::int64_t nodesProcessed() const = 0;
+
+    /// Best solution found so far (invalid Solution if none).
+    virtual const cip::Solution& incumbent() const = 0;
+
+    /// Adopt an externally found solution / cutoff.
+    virtual void injectSolution(const cip::Solution& sol) = 0;
+
+    /// Extract one open subproblem for transfer (collect mode); the node
+    /// leaves this solver's tree.
+    virtual std::optional<cip::SubproblemDesc> extractOpenNode() = 0;
+
+    /// Register a callback fired on each new incumbent.
+    virtual void setIncumbentCallback(
+        std::function<void(const cip::Solution&)> cb) = 0;
+};
+
+/// Creates base solvers; `params` carries racing settings (merged on top of
+/// the instance defaults).
+class BaseSolverFactory {
+public:
+    virtual ~BaseSolverFactory() = default;
+    virtual std::unique_ptr<BaseSolver> create(const cip::ParamSet& params) = 0;
+};
+
+}  // namespace ug

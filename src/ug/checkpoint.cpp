@@ -1,0 +1,81 @@
+#include "ug/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+namespace ug {
+
+bool saveCheckpoint(const std::string& path, const Checkpoint& cp) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << std::setprecision(17);
+    out << "ugcheckpoint 1\n";
+    out << "dualbound " << cp.dualBound << "\n";
+    if (cp.incumbent.valid()) {
+        out << "incumbent " << cp.incumbent.obj << " "
+            << cp.incumbent.x.size();
+        for (double v : cp.incumbent.x) out << " " << v;
+        out << "\n";
+    } else {
+        out << "noincumbent\n";
+    }
+    out << "nodes " << cp.nodes.size() << "\n";
+    for (const auto& d : cp.nodes) {
+        out << "node " << d.lowerBound << " " << d.boundChanges.size() << " "
+            << d.customBranches.size() << "\n";
+        for (const auto& bc : d.boundChanges)
+            out << "bc " << bc.var << " " << bc.lb << " " << bc.ub << "\n";
+        for (const auto& cb : d.customBranches) {
+            out << "cb " << cb.plugin << " " << cb.data.size();
+            for (auto v : cb.data) out << " " << v;
+            out << "\n";
+        }
+    }
+    return static_cast<bool>(out);
+}
+
+std::optional<Checkpoint> loadCheckpoint(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string word;
+    int version = 0;
+    if (!(in >> word >> version) || word != "ugcheckpoint" || version != 1)
+        return std::nullopt;
+    Checkpoint cp;
+    if (!(in >> word >> cp.dualBound) || word != "dualbound")
+        return std::nullopt;
+    if (!(in >> word)) return std::nullopt;
+    if (word == "incumbent") {
+        std::size_t n = 0;
+        if (!(in >> cp.incumbent.obj >> n)) return std::nullopt;
+        cp.incumbent.x.resize(n);
+        for (double& v : cp.incumbent.x)
+            if (!(in >> v)) return std::nullopt;
+    } else if (word != "noincumbent") {
+        return std::nullopt;
+    }
+    std::size_t numNodes = 0;
+    if (!(in >> word >> numNodes) || word != "nodes") return std::nullopt;
+    cp.nodes.resize(numNodes);
+    for (auto& d : cp.nodes) {
+        std::size_t nbc = 0, ncb = 0;
+        if (!(in >> word >> d.lowerBound >> nbc >> ncb) || word != "node")
+            return std::nullopt;
+        d.boundChanges.resize(nbc);
+        for (auto& bc : d.boundChanges)
+            if (!(in >> word >> bc.var >> bc.lb >> bc.ub) || word != "bc")
+                return std::nullopt;
+        d.customBranches.resize(ncb);
+        for (auto& cb : d.customBranches) {
+            std::size_t nd = 0;
+            if (!(in >> word >> cb.plugin >> nd) || word != "cb")
+                return std::nullopt;
+            cb.data.resize(nd);
+            for (auto& v : cb.data)
+                if (!(in >> v)) return std::nullopt;
+        }
+    }
+    return cp;
+}
+
+}  // namespace ug

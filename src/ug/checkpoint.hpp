@@ -1,0 +1,30 @@
+// Checkpoint serialization: primitive nodes + incumbent, as plain text.
+//
+// UG's checkpointing strategy (paper section 2.2): only primitive nodes —
+// nodes with no ancestor inside the LoadCoordinator — are saved. Restarting
+// regenerates the discarded subtrees, an overhead that the paper notes is
+// often outweighed by re-applying global presolving on restart.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cip/model.hpp"
+#include "cip/node.hpp"
+
+namespace ug {
+
+struct Checkpoint {
+    std::vector<cip::SubproblemDesc> nodes;
+    cip::Solution incumbent;      ///< may be invalid (no solution yet)
+    double dualBound = -cip::kInf;
+};
+
+/// Serialize to a file; returns false on I/O failure.
+bool saveCheckpoint(const std::string& path, const Checkpoint& cp);
+
+/// Load from a file; nullopt on missing/corrupt file.
+std::optional<Checkpoint> loadCheckpoint(const std::string& path);
+
+}  // namespace ug

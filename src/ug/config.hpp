@@ -1,0 +1,77 @@
+// Run configuration and aggregate statistics of a UG run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cip/model.hpp"
+#include "cip/params.hpp"
+
+namespace ug {
+
+enum class RampUp { Normal, Racing };
+
+struct UgConfig {
+    int numSolvers = 4;
+    RampUp rampUp = RampUp::Normal;
+
+    /// Racing ramp-up settings table; solver i gets settings[i % size].
+    /// The MISDP glue fills this with alternating SDP/LP settings (paper
+    /// section 3.2); empty means "derive a generic diverse table".
+    std::vector<cip::ParamSet> racingSettings;
+    double racingTimeLimit = 5.0;    ///< engine seconds before winner pick
+    int racingOpenNodesLimit = 50;   ///< ...or when the best racer has this many
+
+    /// Parameters applied to every base solver (instance defaults).
+    cip::ParamSet baseParams;
+
+    /// Optional warm-start incumbent (e.g. the best known solution of an
+    /// open instance, as in the paper's hc10p runs): used for presolving,
+    /// propagation and heuristics from the very first node.
+    cip::Solution initialSolution;
+
+    int statusIntervalSteps = 1;   ///< worker status report frequency (steps)
+    int poolTargetPerSolver = 1;   ///< desired pool size per (possibly idle) solver
+
+    // SimEngine knobs (ignored by ThreadEngine).
+    double costUnitSeconds = 1e-4;  ///< virtual seconds per base-solver work unit
+    double msgLatency = 1e-3;       ///< virtual message latency (seconds)
+
+    /// Periodic coordinator status lines (engine seconds; 0 = quiet), in the
+    /// style of UG's solving-status output.
+    double logInterval = 0.0;
+
+    double timeLimit = 1e18;        ///< engine seconds; triggers checkpoint+stop
+    std::string checkpointFile;     ///< path for checkpoint save (empty: off)
+    double checkpointInterval = 0;  ///< engine seconds between saves (0: only on stop)
+    bool restartFromCheckpoint = false;
+};
+
+struct UgStats {
+    long long transferredNodes = 0;   ///< subproblems assigned to ParaSolvers
+    long long collectedNodes = 0;     ///< open nodes pulled back (collect mode)
+    long long totalNodesProcessed = 0;///< B&B nodes generated across all solvers
+    long long solutionsFound = 0;
+    int maxActiveSolvers = 0;
+    double firstMaxActiveTime = 0.0;  ///< engine time the max was first reached
+    double rampUpTime = -1.0;         ///< first time all solvers were active
+    int racingWinnerSetting = -1;
+    long long busyUnits = 0;          ///< total busy work units across solvers
+    double idleRatio = 0.0;           ///< filled in by the engine at the end
+    long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
+    long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart
+};
+
+enum class UgStatus { Optimal, Infeasible, TimeLimit, Failed };
+
+const char* toString(UgStatus s);
+
+struct UgResult {
+    UgStatus status = UgStatus::Failed;
+    cip::Solution best;
+    double dualBound = -cip::kInf;
+    double elapsed = 0.0;  ///< engine seconds (virtual for SimEngine)
+    UgStats stats;
+};
+
+}  // namespace ug

@@ -1,0 +1,438 @@
+#include "ug/loadcoordinator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "ug/checkpoint.hpp"
+
+namespace ug {
+
+LoadCoordinator::LoadCoordinator(ParaComm& comm, const UgConfig& cfg)
+    : comm_(comm), cfg_(cfg), cutoff_(cip::kInf) {
+    info_.resize(cfg_.numSolvers + 1);
+}
+
+int LoadCoordinator::activeCount() const {
+    int c = 0;
+    for (int r = 1; r <= cfg_.numSolvers; ++r)
+        if (info_[r].active) ++c;
+    return c;
+}
+
+void LoadCoordinator::noteActivity() {
+    const int act = activeCount();
+    const double now = comm_.now(0);
+    if (act > stats_.maxActiveSolvers) {
+        stats_.maxActiveSolvers = act;
+        stats_.firstMaxActiveTime = now;
+    }
+    if (act == cfg_.numSolvers && stats_.rampUpTime < 0)
+        stats_.rampUpTime = now;
+}
+
+void LoadCoordinator::start(const cip::SubproblemDesc& root) {
+    rootDesc_ = root;
+    if (cfg_.initialSolution.valid()) {
+        best_ = cfg_.initialSolution;
+        cutoff_ = best_.obj;
+    }
+    nextCheckpoint_ = cfg_.checkpointInterval > 0
+                          ? comm_.now(0) + cfg_.checkpointInterval
+                          : 0.0;
+    if (cfg_.restartFromCheckpoint && loadCheckpoint()) {
+        // Restart: pool already filled; ramp up by distributing saved
+        // primitive nodes (racing is skipped on restarts, as in ParaSCIP).
+        broadcastSolution();
+        assignNodes();
+        updateCollectMode();
+        return;
+    }
+
+    if (cfg_.rampUp == RampUp::Racing && cfg_.numSolvers > 1 &&
+        !cfg_.racingSettings.empty()) {
+        racingPhase_ = true;
+        racingStart_ = comm_.now(0);
+        for (int r = 1; r <= cfg_.numSolvers; ++r) {
+            Message m;
+            m.tag = Tag::RacingSubproblem;
+            m.desc = root;
+            const int idx =
+                (r - 1) % static_cast<int>(cfg_.racingSettings.size());
+            m.params = cfg_.racingSettings[idx];
+            m.settingId = idx;
+            if (best_.valid()) m.sol = best_;
+            info_[r].active = true;
+            info_[r].settingId = idx;
+            info_[r].assigned = root;
+            comm_.send(0, r, m);
+        }
+        noteActivity();
+        return;
+    }
+
+    pool_.push_back(root);
+    assignNodes();
+    updateCollectMode();
+}
+
+void LoadCoordinator::assignNodes() {
+    if (racingPhase_ || stopping_ || done_) return;
+    while (!pool_.empty()) {
+        int idleRank = -1;
+        for (int r = 1; r <= cfg_.numSolvers; ++r) {
+            if (!info_[r].active) {
+                idleRank = r;
+                break;
+            }
+        }
+        if (idleRank < 0) break;
+        // Best node first (lowest bound).
+        std::size_t pick = 0;
+        for (std::size_t i = 1; i < pool_.size(); ++i)
+            if (pool_[i].lowerBound < pool_[pick].lowerBound) pick = i;
+        cip::SubproblemDesc desc = std::move(pool_[pick]);
+        pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(pick));
+        if (cutoff_ < cip::kInf && desc.lowerBound >= cutoff_ - 1e-9)
+            continue;  // node already cut off by the incumbent
+        Message m;
+        m.tag = Tag::Subproblem;
+        m.desc = desc;
+        if (best_.valid()) m.sol = best_;
+        info_[idleRank].active = true;
+        info_[idleRank].dualBound = desc.lowerBound;
+        info_[idleRank].openNodes = 0;
+        info_[idleRank].assigned = std::move(desc);
+        ++stats_.transferredNodes;
+        comm_.send(0, idleRank, m);
+        noteActivity();
+    }
+}
+
+void LoadCoordinator::updateCollectMode() {
+    if (racingPhase_ || stopping_ || done_) return;
+    int idle = 0;
+    for (int r = 1; r <= cfg_.numSolvers; ++r)
+        if (!info_[r].active) ++idle;
+    const std::size_t target = static_cast<std::size_t>(
+        std::max(1, cfg_.poolTargetPerSolver * std::max(idle, 1)));
+    const bool wantCollect =
+        pool_.size() < target && (idle > 0 || pool_.size() < target / 2 + 1);
+
+    if (wantCollect) {
+        // Ask the solvers holding the heaviest frontiers to share.
+        for (int r = 1; r <= cfg_.numSolvers; ++r) {
+            SolverInfo& si = info_[r];
+            if (si.active && !si.collecting && si.openNodes >= 2) {
+                Message m;
+                m.tag = Tag::StartCollecting;
+                comm_.send(0, r, m);
+                si.collecting = true;
+            }
+        }
+    } else if (pool_.size() >= 2 * target + 2) {
+        for (int r = 1; r <= cfg_.numSolvers; ++r) {
+            SolverInfo& si = info_[r];
+            if (si.collecting) {
+                Message m;
+                m.tag = Tag::StopCollecting;
+                comm_.send(0, r, m);
+                si.collecting = false;
+            }
+        }
+    }
+}
+
+void LoadCoordinator::broadcastSolution() {
+    if (!best_.valid()) return;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        Message m;
+        m.tag = Tag::SolutionPush;
+        m.sol = best_;
+        comm_.send(0, r, m);
+    }
+}
+
+void LoadCoordinator::pickRacingWinner() {
+    if (!racingPhase_ || racingWinnerPicked_) return;
+    racingWinnerPicked_ = true;
+    // Winner criterion (paper): combination of lower bound and open nodes.
+    int winner = -1;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        const SolverInfo& si = info_[r];
+        if (!si.active) continue;
+        if (winner < 0 ||
+            si.dualBound > info_[winner].dualBound + 1e-12 ||
+            (std::fabs(si.dualBound - info_[winner].dualBound) <= 1e-12 &&
+             si.openNodes > info_[winner].openNodes))
+            winner = r;
+    }
+    if (winner < 0) return;  // everyone already finished
+    stats_.racingWinnerSetting = info_[winner].settingId;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        if (!info_[r].active) continue;
+        Message m;
+        m.tag = (r == winner) ? Tag::CollectAll : Tag::RacingStop;
+        comm_.send(0, r, m);
+    }
+}
+
+void LoadCoordinator::handleMessage(const Message& m) {
+    if (done_) return;
+    const int r = m.src;
+    if (r < 1 || r > cfg_.numSolvers) return;
+    SolverInfo& si = info_[r];
+
+    switch (m.tag) {
+        case Tag::SolutionFound: {
+            ++stats_.solutionsFound;
+            if (m.sol.valid() &&
+                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
+                best_ = m.sol;
+                cutoff_ = best_.obj;
+                // Drop pool nodes that are now cut off.
+                std::erase_if(pool_, [&](const cip::SubproblemDesc& d) {
+                    return d.lowerBound >= cutoff_ - 1e-9;
+                });
+                broadcastSolution();
+            }
+            break;
+        }
+        case Tag::Status: {
+            si.dualBound = std::max(si.dualBound, m.dualBound);
+            si.openNodes = m.openNodes;
+            si.nodesProcessed = m.nodesProcessed;
+            si.busyUnits = m.busyCost;
+            if (racingPhase_ && !racingWinnerPicked_ &&
+                m.openNodes >= cfg_.racingOpenNodesLimit)
+                pickRacingWinner();
+            if (!racingPhase_) updateCollectMode();
+            break;
+        }
+        case Tag::NodeTransfer: {
+            ++stats_.collectedNodes;
+            if (!(cutoff_ < cip::kInf &&
+                  m.desc.lowerBound >= cutoff_ - 1e-9))
+                pool_.push_back(m.desc);
+            if (!racingPhase_) {
+                assignNodes();
+                updateCollectMode();
+            }
+            break;
+        }
+        case Tag::RacingFinished: {
+            // A racer solved the instance outright during the racing stage.
+            if (m.sol.valid() &&
+                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
+                best_ = m.sol;
+                cutoff_ = best_.obj;
+            }
+            instanceSolvedInRacing_ = true;
+            si.active = false;
+            si.assigned.reset();
+            stats_.totalNodesProcessed += m.nodesProcessed;
+            stats_.busyUnits += m.busyCost;
+            si.dualBound = m.dualBound;
+            // Stop the remaining racers.
+            for (int rr = 1; rr <= cfg_.numSolvers; ++rr) {
+                if (info_[rr].active) {
+                    Message stop;
+                    stop.tag = Tag::RacingStop;
+                    comm_.send(0, rr, stop);
+                }
+            }
+            racingWinnerPicked_ = true;
+            if (activeCount() == 0) {
+                racingPhase_ = false;
+                pool_.clear();
+                checkDone();
+            }
+            break;
+        }
+        case Tag::Terminated: {
+            si.active = false;
+            si.collecting = false;
+            stats_.totalNodesProcessed += m.nodesProcessed;
+            stats_.busyUnits += m.busyCost;
+            if (m.sol.valid() &&
+                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
+                best_ = m.sol;
+                cutoff_ = best_.obj;
+                broadcastSolution();
+            }
+            if (m.completed) {
+                si.assigned.reset();
+                if (m.dualBound > -cip::kInf)
+                    si.dualBound = std::max(si.dualBound, m.dualBound);
+            } else if (stopping_ || racingPhase_) {
+                // Shutdown (root already checkpointed) or racing loser
+                // (tree intentionally discarded; root retention below keeps
+                // the search exhaustive).
+                si.assigned.reset();
+            } else {
+                // Unexpected incomplete termination (solver failure): the
+                // subproblem's coverage would be lost — requeue its root.
+                if (si.assigned) pool_.push_back(*si.assigned);
+                si.assigned.reset();
+            }
+            si.openNodes = 0;
+            if (stopping_) {
+                if (activeCount() == 0) terminateAll();
+                break;
+            }
+            if (racingPhase_) {
+                if (activeCount() == 0) {
+                    racingPhase_ = false;
+                    if (instanceSolvedInRacing_) {
+                        pool_.clear();
+                    } else if (pool_.empty()) {
+                        // Winner delivered no open nodes (e.g. interrupted
+                        // mid-node): fall back to re-exploring from the root
+                        // with the accumulated incumbent. Correctness over
+                        // lost work.
+                        pool_.push_back(rootDesc_);
+                    }
+                    assignNodes();
+                    updateCollectMode();
+                }
+            } else {
+                assignNodes();
+                updateCollectMode();
+            }
+            checkDone();
+            break;
+        }
+        default:
+            break;  // supervisor->worker tags never arrive here
+    }
+}
+
+void LoadCoordinator::checkDone() {
+    if (done_ || stopping_) return;
+    if (racingPhase_) return;
+    if (!pool_.empty() || activeCount() > 0) return;
+    finalStatus_ = best_.valid() ? UgStatus::Optimal : UgStatus::Infeasible;
+    finalDualBound_ = best_.valid() ? best_.obj : cip::kInf;
+    terminateAll();
+}
+
+void LoadCoordinator::terminateAll() {
+    stats_.openNodesAtEnd = static_cast<long long>(pool_.size());
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        stats_.openNodesAtEnd += info_[r].active ? info_[r].openNodes : 0;
+        Message m;
+        m.tag = Tag::Termination;
+        comm_.send(0, r, m);
+    }
+    done_ = true;
+}
+
+void LoadCoordinator::forceStop() {
+    if (done_ || stopping_) return;
+    stopping_ = true;
+    finalStatus_ = UgStatus::TimeLimit;
+    finalDualBound_ = globalDualBound();
+    // Primitive nodes (pool + assigned roots) go to the checkpoint before
+    // the workers' in-tree progress is discarded (UG semantics).
+    if (!cfg_.checkpointFile.empty()) saveCheckpoint();
+    // Drain: interrupt the active workers and wait for their Terminated
+    // reports so node/busy statistics are complete; idle workers terminate
+    // immediately.
+    bool anyActive = false;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        Message m;
+        if (info_[r].active) {
+            anyActive = true;
+            m.tag = Tag::Interrupt;
+        } else {
+            m.tag = Tag::Termination;
+        }
+        comm_.send(0, r, m);
+    }
+    if (!anyActive) terminateAll();
+}
+
+void LoadCoordinator::onTimer(double now) {
+    if (done_) return;
+    if (cfg_.logInterval > 0 && now >= nextLog_) {
+        nextLog_ = now + cfg_.logInterval;
+        const double primal = best_.valid() ? best_.obj : cip::kInf;
+        const double dual = globalDualBound();
+        std::printf(
+            "[LC %8.3fs] active %d/%d pool %zu primal %s dual %g trans %lld "
+            "coll %lld\n",
+            now, activeCount(), cfg_.numSolvers, pool_.size(),
+            primal < cip::kInf ? std::to_string(primal).c_str() : "-", dual,
+            stats_.transferredNodes, stats_.collectedNodes);
+        std::fflush(stdout);
+    }
+    if (racingPhase_ && !racingWinnerPicked_ &&
+        now - racingStart_ >= cfg_.racingTimeLimit)
+        pickRacingWinner();
+    if (cfg_.checkpointInterval > 0 && !cfg_.checkpointFile.empty() &&
+        now >= nextCheckpoint_) {
+        saveCheckpoint();
+        nextCheckpoint_ = now + cfg_.checkpointInterval;
+    }
+    if (now >= cfg_.timeLimit) forceStop();
+}
+
+double LoadCoordinator::globalDualBound() const {
+    double bound = cip::kInf;
+    bool any = false;
+    for (const auto& d : pool_) {
+        bound = std::min(bound, d.lowerBound);
+        any = true;
+    }
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        if (info_[r].active) {
+            bound = std::min(bound, info_[r].dualBound);
+            any = true;
+        }
+    }
+    if (!any) return best_.valid() ? best_.obj : -cip::kInf;
+    return bound;
+}
+
+void LoadCoordinator::saveCheckpoint() const {
+    Checkpoint cp;
+    cp.nodes = pool_;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        if (info_[r].active && info_[r].assigned) {
+            cip::SubproblemDesc d = *info_[r].assigned;
+            d.lowerBound = std::max(d.lowerBound, info_[r].dualBound);
+            cp.nodes.push_back(std::move(d));
+        }
+    }
+    cp.incumbent = best_;
+    cp.dualBound = globalDualBound();
+    ug::saveCheckpoint(cfg_.checkpointFile, cp);
+}
+
+bool LoadCoordinator::loadCheckpoint() {
+    auto cp = ug::loadCheckpoint(cfg_.checkpointFile);
+    if (!cp) return false;
+    pool_ = std::move(cp->nodes);
+    if (cp->incumbent.valid()) {
+        best_ = std::move(cp->incumbent);
+        cutoff_ = best_.obj;
+    }
+    stats_.initialOpenNodes = static_cast<long long>(pool_.size());
+    if (pool_.empty() && !best_.valid()) pool_.push_back(rootDesc_);
+    return true;
+}
+
+UgResult LoadCoordinator::result(double endTime) const {
+    UgResult res;
+    res.status = finalStatus_;
+    res.best = best_;
+    res.dualBound = done_ && finalStatus_ == UgStatus::Optimal
+                        ? finalDualBound_
+                        : globalDualBound();
+    res.elapsed = endTime;
+    res.stats = stats_;
+    return res;
+}
+
+}  // namespace ug

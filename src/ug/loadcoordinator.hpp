@@ -1,0 +1,91 @@
+// LoadCoordinator: the Supervisor of the Supervisor-Worker scheme
+// (Algorithm 1 of the paper).
+//
+// Responsibilities reproduced from UG: ramp-up (normal and racing), the
+// dynamic load-balancing collect-mode protocol, incumbent broadcasting,
+// termination detection, and checkpointing of primitive nodes (only the
+// subtree roots it owns — pool nodes plus currently assigned subproblem
+// roots — are saved, matching the paper's restart semantics where run 1
+// ends with 271,781 open nodes but run 2 restarts from just 18).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ug/config.hpp"
+#include "ug/paracomm.hpp"
+
+namespace ug {
+
+class LoadCoordinator {
+public:
+    LoadCoordinator(ParaComm& comm, const UgConfig& cfg);
+
+    /// Kick off ramp-up (or restart from a checkpoint file).
+    void start(const cip::SubproblemDesc& root);
+
+    void handleMessage(const Message& m);
+
+    /// Periodic duties: racing deadline, checkpoints, time limit. Engines
+    /// call this regularly with the current engine time.
+    void onTimer(double now);
+
+    bool done() const { return done_; }
+
+    /// Assemble the final result; `endTime` is the engine's elapsed time.
+    UgResult result(double endTime) const;
+
+    const UgStats& stats() const { return stats_; }
+    double globalDualBound() const;
+    const cip::Solution& bestSolution() const { return best_; }
+
+    /// Force checkpoint + global termination (external stop).
+    void forceStop();
+
+private:
+    struct SolverInfo {
+        bool active = false;
+        bool collecting = false;
+        double dualBound = -cip::kInf;
+        long long openNodes = 0;
+        long long nodesProcessed = 0;  ///< last reported (running subproblem)
+        long long busyUnits = 0;
+        int settingId = -1;
+        std::optional<cip::SubproblemDesc> assigned;  ///< for checkpointing
+    };
+
+    void assignNodes();
+    void updateCollectMode();
+    void pickRacingWinner();
+    void broadcastSolution();
+    void checkDone();
+    void terminateAll();
+    void saveCheckpoint() const;
+    bool loadCheckpoint();
+    int activeCount() const;
+    void noteActivity();
+
+    ParaComm& comm_;
+    UgConfig cfg_;
+
+    std::vector<cip::SubproblemDesc> pool_;
+    std::vector<SolverInfo> info_;  ///< index 1..numSolvers (0 unused)
+    cip::Solution best_;
+    double cutoff_;  ///< objective of best_, or +inf
+
+    cip::SubproblemDesc rootDesc_;
+    bool racingPhase_ = false;
+    bool racingWinnerPicked_ = false;
+    double racingStart_ = 0.0;
+    bool instanceSolvedInRacing_ = false;
+    bool stopping_ = false;  ///< forceStop in progress
+    bool done_ = false;
+    UgStatus finalStatus_ = UgStatus::Failed;
+
+    double nextCheckpoint_ = 0.0;
+    double nextLog_ = 0.0;
+    UgStats stats_;
+    mutable double finalDualBound_ = -cip::kInf;
+};
+
+}  // namespace ug

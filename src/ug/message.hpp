@@ -1,0 +1,57 @@
+// Message types of the Supervisor-Worker protocol (Algorithms 1 & 2 of the
+// paper). Everything transferred between ranks is plain value data — the
+// "solver independent form" UG requires so subproblems and solutions can
+// cross process boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cip/model.hpp"
+#include "cip/node.hpp"
+#include "cip/params.hpp"
+
+namespace ug {
+
+enum class Tag {
+    // Supervisor -> Worker
+    Subproblem,       ///< assignment of a subproblem (desc + incumbent)
+    RacingSubproblem, ///< racing ramp-up: root + per-solver settings
+    RacingStop,       ///< racing resolved; loser must stop
+    CollectAll,       ///< racing winner: hand over all open nodes
+    StartCollecting,  ///< enter collect mode (Algorithm 1)
+    StopCollecting,   ///< leave collect mode
+    SolutionPush,     ///< broadcast of a new incumbent
+    Termination,      ///< global shutdown
+    Interrupt,        ///< stop current subproblem, report open nodes
+
+    // Worker -> Supervisor
+    SolutionFound,    ///< new incumbent discovered
+    Status,           ///< periodic bound / open-node report
+    NodeTransfer,     ///< one extracted open subproblem (collect mode)
+    Terminated,       ///< current subproblem finished (or racing stopped)
+    RacingFinished,   ///< racing solver solved the instance outright
+};
+
+const char* toString(Tag t);
+
+/// One message. Fields are used depending on the tag; unused fields stay at
+/// their defaults. Copy semantics everywhere: a sent message shares no state
+/// with the sender (the MPI discipline, enforced in shared memory too).
+struct Message {
+    Tag tag = Tag::Status;
+    int src = -1;
+
+    cip::SubproblemDesc desc;  ///< Subproblem / NodeTransfer / RacingSubproblem
+    cip::Solution sol;         ///< SolutionFound / SolutionPush / Subproblem
+    double dualBound = -cip::kInf;   ///< Status / Terminated
+    std::int64_t openNodes = 0;      ///< Status
+    std::int64_t nodesProcessed = 0; ///< Status / Terminated
+    std::int64_t busyCost = 0;       ///< Status / Terminated: work units spent
+    int settingId = -1;              ///< racing setting index
+    bool completed = true;           ///< Terminated: subproblem fully solved
+    cip::ParamSet params;            ///< RacingSubproblem settings
+    std::string text;                ///< diagnostics
+};
+
+}  // namespace ug

@@ -1,0 +1,30 @@
+// Message-passing abstraction between the LoadCoordinator (rank 0) and the
+// ParaSolvers (ranks 1..N).
+//
+// Two implementations exist, mirroring the paper's parallelization
+// libraries: ThreadComm (std::thread mailboxes — the "C++11" instantiation)
+// and the discrete-event SimComm inside SimEngine (substituting for MPI on
+// clusters; see DESIGN.md). The LoadCoordinator/ParaSolver logic is written
+// against this interface only, which is exactly UG's portability claim.
+#pragma once
+
+#include "ug/message.hpp"
+
+namespace ug {
+
+class ParaComm {
+public:
+    virtual ~ParaComm() = default;
+
+    /// Total rank count, including the LoadCoordinator at rank 0.
+    virtual int size() const = 0;
+
+    /// Enqueue a message from `src` to `dest`. Never blocks.
+    virtual void send(int src, int dest, Message msg) = 0;
+
+    /// Engine time as observed by `rank` (wall seconds for ThreadComm,
+    /// virtual seconds for SimComm).
+    virtual double now(int rank) const = 0;
+};
+
+}  // namespace ug

@@ -1,0 +1,188 @@
+#include "ug/parasolver.hpp"
+
+namespace ug {
+
+const char* toString(Tag t) {
+    switch (t) {
+        case Tag::Subproblem: return "Subproblem";
+        case Tag::RacingSubproblem: return "RacingSubproblem";
+        case Tag::RacingStop: return "RacingStop";
+        case Tag::CollectAll: return "CollectAll";
+        case Tag::StartCollecting: return "StartCollecting";
+        case Tag::StopCollecting: return "StopCollecting";
+        case Tag::SolutionPush: return "SolutionPush";
+        case Tag::Termination: return "Termination";
+        case Tag::Interrupt: return "Interrupt";
+        case Tag::SolutionFound: return "SolutionFound";
+        case Tag::Status: return "Status";
+        case Tag::NodeTransfer: return "NodeTransfer";
+        case Tag::Terminated: return "Terminated";
+        case Tag::RacingFinished: return "RacingFinished";
+    }
+    return "?";
+}
+
+const char* toString(UgStatus s) {
+    switch (s) {
+        case UgStatus::Optimal: return "optimal";
+        case UgStatus::Infeasible: return "infeasible";
+        case UgStatus::TimeLimit: return "timelimit";
+        case UgStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+ParaSolver::ParaSolver(int rank, ParaComm& comm, BaseSolverFactory& factory,
+                       const UgConfig& cfg)
+    : rank_(rank), comm_(comm), factory_(factory), cfg_(cfg) {}
+
+bool ParaSolver::hasWork() const {
+    return active_ && solver_ && !solver_->finished() && !terminated_;
+}
+
+void ParaSolver::startSubproblem(const Message& m, bool racing) {
+    cip::ParamSet params = cfg_.baseParams;
+    if (racing) params.merge(m.params);
+    solver_ = factory_.create(params);
+    racing_ = racing;
+    settingId_ = m.settingId;
+    stepsSinceStatus_ = 0;
+    busyUnits_ = 0;  // per-subproblem: the coordinator sums Terminated reports
+    if (m.sol.valid() &&
+        (!bestKnown_.valid() || m.sol.obj < bestKnown_.obj)) {
+        bestKnown_ = m.sol;
+    }
+    solver_->setIncumbentCallback([this](const cip::Solution& sol) {
+        if (!bestKnown_.valid() || sol.obj < bestKnown_.obj - 1e-12) {
+            bestKnown_ = sol;
+            Message out;
+            out.tag = Tag::SolutionFound;
+            out.sol = sol;
+            out.settingId = settingId_;
+            comm_.send(rank_, 0, out);
+        }
+    });
+    solver_->load(m.desc, bestKnown_.valid() ? &bestKnown_ : nullptr);
+    active_ = true;
+    // Layered presolving may already settle the subproblem (infeasibility or
+    // trivial optimality); report immediately, or the coordinator would wait
+    // forever for a worker that has no work to do.
+    if (solver_->finished()) finishSubproblem(solver_->status());
+}
+
+void ParaSolver::finishSubproblem(BaseStatus status) {
+    Message out;
+    out.tag = racing_ ? (status == BaseStatus::Optimal ||
+                                 status == BaseStatus::Infeasible
+                             ? Tag::RacingFinished
+                             : Tag::Terminated)
+                      : Tag::Terminated;
+    out.dualBound = solver_ ? solver_->dualBound() : -cip::kInf;
+    out.nodesProcessed = solver_ ? solver_->nodesProcessed() : 0;
+    out.busyCost = busyUnits_;
+    out.settingId = settingId_;
+    out.completed =
+        status == BaseStatus::Optimal || status == BaseStatus::Infeasible;
+    if (racing_ && solver_ && solver_->incumbent().valid())
+        out.sol = solver_->incumbent();
+    comm_.send(rank_, 0, out);
+    active_ = false;
+    racing_ = false;
+    solver_.reset();
+}
+
+void ParaSolver::sendStatus() {
+    if (!solver_) return;
+    Message out;
+    out.tag = Tag::Status;
+    out.dualBound = solver_->dualBound();
+    out.openNodes = solver_->numOpenNodes();
+    out.nodesProcessed = solver_->nodesProcessed();
+    out.busyCost = busyUnits_;
+    out.settingId = settingId_;
+    comm_.send(rank_, 0, out);
+}
+
+void ParaSolver::drainAllOpenNodes() {
+    if (!solver_) return;
+    while (auto node = solver_->extractOpenNode()) {
+        Message out;
+        out.tag = Tag::NodeTransfer;
+        out.desc = std::move(*node);
+        comm_.send(rank_, 0, out);
+    }
+}
+
+void ParaSolver::handleMessage(const Message& m) {
+    switch (m.tag) {
+        case Tag::Subproblem:
+            startSubproblem(m, /*racing=*/false);
+            break;
+        case Tag::RacingSubproblem:
+            startSubproblem(m, /*racing=*/true);
+            break;
+        case Tag::RacingStop:
+            // Lost the race: the tree is discarded; solutions were already
+            // reported through SolutionFound messages.
+            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            break;
+        case Tag::CollectAll:
+            // Racing winner: hand the entire frontier to the coordinator,
+            // then become an ordinary idle worker.
+            drainAllOpenNodes();
+            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            break;
+        case Tag::StartCollecting:
+            collectMode_ = true;
+            break;
+        case Tag::StopCollecting:
+            collectMode_ = false;
+            break;
+        case Tag::SolutionPush:
+            if (m.sol.valid() &&
+                (!bestKnown_.valid() || m.sol.obj < bestKnown_.obj - 1e-12)) {
+                bestKnown_ = m.sol;
+                if (solver_) solver_->injectSolution(m.sol);
+            }
+            break;
+        case Tag::Interrupt:
+            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            break;
+        case Tag::Termination:
+            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            terminated_ = true;
+            break;
+        default:
+            break;  // worker->supervisor tags are never delivered here
+    }
+}
+
+std::int64_t ParaSolver::work() {
+    if (!hasWork()) return 0;
+    const std::int64_t cost = solver_->step();
+    busyUnits_ += cost;
+
+    if (solver_->finished()) {
+        finishSubproblem(solver_->status());
+        return cost;
+    }
+
+    if (++stepsSinceStatus_ >= cfg_.statusIntervalSteps) {
+        sendStatus();
+        stepsSinceStatus_ = 0;
+    }
+
+    // In collect mode, ship the best candidate open node (keep at least one
+    // so this solver stays busy).
+    if (collectMode_ && !racing_ && solver_->numOpenNodes() >= 2) {
+        if (auto node = solver_->extractOpenNode()) {
+            Message out;
+            out.tag = Tag::NodeTransfer;
+            out.desc = std::move(*node);
+            comm_.send(rank_, 0, out);
+        }
+    }
+    return cost;
+}
+
+}  // namespace ug

@@ -1,0 +1,61 @@
+// ParaSolver: the Worker of the Supervisor-Worker scheme (Algorithm 2).
+//
+// Engine-agnostic: an engine delivers messages via handleMessage() and
+// drives computation via work(); all outbound communication goes through
+// ParaComm::send. One fresh BaseSolver instance is created per received
+// subproblem, which is what re-runs presolving on each subproblem (layered
+// presolving).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ug/basesolver.hpp"
+#include "ug/config.hpp"
+#include "ug/paracomm.hpp"
+
+namespace ug {
+
+class ParaSolver {
+public:
+    ParaSolver(int rank, ParaComm& comm, BaseSolverFactory& factory,
+               const UgConfig& cfg);
+
+    void handleMessage(const Message& m);
+
+    /// True while an unfinished subproblem is loaded.
+    bool hasWork() const;
+
+    /// One unit of work on the current subproblem; returns its cost.
+    /// Sends Status / NodeTransfer / SolutionFound / Terminated as needed.
+    std::int64_t work();
+
+    bool terminated() const { return terminated_; }
+    int rank() const { return rank_; }
+    /// Work units spent on the *current* subproblem (reset per assignment;
+    /// the coordinator accumulates the per-subproblem totals it receives).
+    std::int64_t busyUnits() const { return busyUnits_; }
+
+private:
+    void startSubproblem(const Message& m, bool racing);
+    void finishSubproblem(BaseStatus status);
+    void sendStatus();
+    void drainAllOpenNodes();
+
+    int rank_;
+    ParaComm& comm_;
+    BaseSolverFactory& factory_;
+    const UgConfig& cfg_;
+
+    std::unique_ptr<BaseSolver> solver_;
+    bool active_ = false;
+    bool terminated_ = false;
+    bool racing_ = false;
+    bool collectMode_ = false;
+    int settingId_ = -1;
+    int stepsSinceStatus_ = 0;
+    std::int64_t busyUnits_ = 0;
+    cip::Solution bestKnown_;  ///< latest incumbent seen (local or pushed)
+};
+
+}  // namespace ug

@@ -1,0 +1,22 @@
+#include "ug/racing.hpp"
+
+namespace ug {
+
+std::vector<cip::ParamSet> makeGenericRacingSettings(int count) {
+    static const char* emphases[] = {"default", "easycip", "aggressive",
+                                     "fast"};
+    static const char* branchings[] = {"pseudocost", "mostfrac"};
+    static const char* nodesels[] = {"bestbound", "dfs", "estimate"};
+    std::vector<cip::ParamSet> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        cip::ParamSet p = cip::ParamSet::emphasis(emphases[i % 4]);
+        p.setString("branching", branchings[(i / 4) % 2]);
+        p.setString("nodeselection", nodesels[(i / 8) % 3]);
+        p.setInt("randomization/permutationseed", 1000 + i);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace ug

@@ -1,0 +1,21 @@
+// Racing ramp-up settings tables.
+//
+// Racing diversity in UG comes from running the same root problem under
+// different parameter settings and variable permutations (the paper cites
+// MIPLIB 2010's performance-variability evidence for why permutations alone
+// already diversify search trees). Customized racing lets an application
+// supply its own problem-specific table — the MISDP glue does so with
+// alternating SDP/LP settings.
+#pragma once
+
+#include <vector>
+
+#include "cip/params.hpp"
+
+namespace ug {
+
+/// Generic diverse settings: emphasis x branching x node selection, each
+/// with its own permutation seed. settings[i] is what racing solver i+1 runs.
+std::vector<cip::ParamSet> makeGenericRacingSettings(int count);
+
+}  // namespace ug

@@ -1,0 +1,141 @@
+#include "ug/simengine.hpp"
+
+#include <algorithm>
+
+namespace ug {
+
+SimEngine::SimEngine(BaseSolverFactory& factory, UgConfig cfg)
+    : factory_(factory), cfg_(std::move(cfg)) {}
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::send(int src, int dest, Message msg) {
+    msg.src = src;
+    outbox_.emplace_back(dest, std::move(msg));
+}
+
+double SimEngine::now(int rank) const {
+    if (rank == 0) return lcTime_;
+    return vclock_[rank];
+}
+
+void SimEngine::flushOutbox(double sendTime) {
+    for (auto& [dest, msg] : outbox_) {
+        events_.push(Event{sendTime + cfg_.msgLatency, seq_++,
+                           EventKind::MsgArrival, dest, std::move(msg)});
+    }
+    outbox_.clear();
+}
+
+void SimEngine::attend(int rank, double time) {
+    // Give rank `rank` attention at event time `time`: deliver due messages
+    // and let it work one step.
+    ParaSolver& ps = *solvers_[rank];
+    double eff = std::max(vclock_[rank], time);
+
+    bool handledAny = false;
+    while (!inbox_[rank].empty() && inbox_[rank].front().first <= eff + 1e-15) {
+        Message m = std::move(inbox_[rank].front().second);
+        inbox_[rank].pop();
+        ps.handleMessage(m);
+        handledAny = true;
+    }
+    if (handledAny) {
+        // Message handling itself is treated as instantaneous; its outbound
+        // messages leave at eff.
+        flushOutbox(eff);
+    }
+
+    if (ps.hasWork()) {
+        // Every step advances time by at least one unit (guards against
+        // zero-cost steps stalling the event loop).
+        const std::int64_t cost = std::max<std::int64_t>(1, ps.work());
+        const double dt = static_cast<double>(cost) * cfg_.costUnitSeconds;
+        busy_[rank] += dt;
+        vclock_[rank] = eff + dt;
+        flushOutbox(vclock_[rank]);
+        events_.push(Event{vclock_[rank], seq_++, EventKind::SolverRun, rank,
+                           Message{}});
+    } else {
+        vclock_[rank] = eff;
+        outbox_.clear();  // nothing should be pending here
+        if (!inbox_[rank].empty()) {
+            events_.push(Event{inbox_[rank].front().first, seq_++,
+                               EventKind::SolverRun, rank, Message{}});
+        }
+    }
+}
+
+UgResult SimEngine::run(const cip::SubproblemDesc& root) {
+    const int n = cfg_.numSolvers;
+    lc_ = std::make_unique<LoadCoordinator>(*this, cfg_);
+    solvers_.clear();
+    solvers_.resize(n + 1);
+    inbox_.assign(n + 1, {});
+    vclock_.assign(n + 1, 0.0);
+    busy_.assign(n + 1, 0.0);
+    lcTime_ = 0.0;
+    running_ = true;
+    for (int r = 1; r <= n; ++r)
+        solvers_[r] = std::make_unique<ParaSolver>(r, *this, factory_, cfg_);
+
+    lc_->start(root);
+    flushOutbox(0.0);
+    if (cfg_.timeLimit < 1e17)
+        events_.push(
+            Event{cfg_.timeLimit, seq_++, EventKind::Timer, 0, Message{}});
+    if (cfg_.rampUp == RampUp::Racing)
+        events_.push(Event{cfg_.racingTimeLimit, seq_++, EventKind::Timer, 0,
+                           Message{}});
+    if (cfg_.checkpointInterval > 0)
+        events_.push(Event{cfg_.checkpointInterval, seq_++, EventKind::Timer,
+                           0, Message{}});
+
+    while (!events_.empty() && !lc_->done()) {
+        Event ev = events_.top();
+        events_.pop();
+        if (ev.kind == EventKind::Timer) {
+            lcTime_ = std::max(lcTime_, ev.time);
+            lc_->onTimer(ev.time);
+            flushOutbox(ev.time);
+            if (cfg_.checkpointInterval > 0 && ev.rank == 0 &&
+                !lc_->done()) {
+                // Re-arm the periodic checkpoint timer.
+                events_.push(Event{ev.time + cfg_.checkpointInterval, seq_++,
+                                   EventKind::Timer, 0, Message{}});
+            }
+            continue;
+        }
+        if (ev.kind == EventKind::MsgArrival) {
+            if (ev.rank == 0) {
+                lcTime_ = std::max(lcTime_, ev.time);
+                lc_->handleMessage(ev.msg);
+                flushOutbox(lcTime_);
+                lc_->onTimer(lcTime_);
+                flushOutbox(lcTime_);
+            } else {
+                inbox_[ev.rank].emplace(ev.time, std::move(ev.msg));
+                attend(ev.rank, ev.time);
+            }
+            continue;
+        }
+        // SolverRun
+        attend(ev.rank, ev.time);
+    }
+
+    running_ = false;
+    const double endTime = lcTime_;
+    UgResult res = lc_->result(endTime);
+    // Idle ratio over the makespan: fraction of solver-seconds not spent in
+    // base-solver work.
+    double busySum = 0.0;
+    for (int r = 1; r <= n; ++r) busySum += busy_[r];
+    const double total = endTime * n;
+    res.stats.idleRatio = total > 0 ? std::max(0.0, 1.0 - busySum / total) : 0.0;
+    // Drain leftover events for reuse safety.
+    while (!events_.empty()) events_.pop();
+    outbox_.clear();
+    return res;
+}
+
+}  // namespace ug

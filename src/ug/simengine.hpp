@@ -1,0 +1,77 @@
+// SimEngine: deterministic discrete-event execution of the Supervisor-Worker
+// protocol with a virtual clock per rank.
+//
+// This is the repository's substitute for running ug[*, MPI] on a cluster
+// (see DESIGN.md): every ParaSolver advances its own virtual clock by the
+// deterministic cost of each base-solver step; messages travel with a
+// configurable latency; the LoadCoordinator observes virtual time. The
+// makespan, idle ratios, ramp-up times and max-active-solver statistics of
+// Tables 1-3 are read off this simulation. Single-threaded and exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ug/basesolver.hpp"
+#include "ug/config.hpp"
+#include "ug/loadcoordinator.hpp"
+#include "ug/paracomm.hpp"
+#include "ug/parasolver.hpp"
+
+namespace ug {
+
+class SimEngine : public ParaComm {
+public:
+    SimEngine(BaseSolverFactory& factory, UgConfig cfg);
+    ~SimEngine() override;
+
+    /// Run the whole parallel solve; `root` is the instance root subproblem.
+    UgResult run(const cip::SubproblemDesc& root = {});
+
+    // ParaComm
+    int size() const override { return cfg_.numSolvers + 1; }
+    void send(int src, int dest, Message msg) override;
+    double now(int rank) const override;
+
+    /// Per-rank busy time (virtual seconds), available after run().
+    const std::vector<double>& busyTime() const { return busy_; }
+
+private:
+    enum class EventKind { MsgArrival, SolverRun, Timer };
+    struct Event {
+        double time;
+        std::int64_t seq;
+        EventKind kind;
+        int rank;
+        Message msg;
+    };
+    struct EventOrder {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    void flushOutbox(double sendTime);
+    void attend(int rank, double time);
+
+    BaseSolverFactory& factory_;
+    UgConfig cfg_;
+
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+    std::int64_t seq_ = 0;
+    std::vector<std::pair<int, Message>> outbox_;
+
+    std::unique_ptr<LoadCoordinator> lc_;
+    std::vector<std::unique_ptr<ParaSolver>> solvers_;  ///< index 1..N
+    std::vector<std::queue<std::pair<double, Message>>> inbox_;
+    std::vector<double> vclock_;
+    std::vector<double> busy_;
+    double lcTime_ = 0.0;
+    bool running_ = false;
+};
+
+}  // namespace ug

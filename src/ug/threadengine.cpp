@@ -1,0 +1,106 @@
+#include "ug/threadengine.hpp"
+
+#include <algorithm>
+
+namespace ug {
+
+ThreadEngine::ThreadEngine(BaseSolverFactory& factory, UgConfig cfg)
+    : factory_(factory), cfg_(std::move(cfg)) {
+    boxes_.resize(cfg_.numSolvers + 1);
+    for (auto& b : boxes_) b = std::make_unique<Mailbox>();
+}
+
+ThreadEngine::~ThreadEngine() {
+    for (auto& t : threads_)
+        if (t.joinable()) t.join();
+}
+
+void ThreadEngine::send(int src, int dest, Message msg) {
+    msg.src = src;
+    Mailbox& box = *boxes_[dest];
+    {
+        std::lock_guard lock(box.mutex);
+        box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_one();
+}
+
+double ThreadEngine::now(int) const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+}
+
+void ThreadEngine::solverLoop(int rank) {
+    ParaSolver& ps = *solvers_[rank];
+    Mailbox& box = *boxes_[rank];
+    while (!ps.terminated()) {
+        // Drain pending messages.
+        for (;;) {
+            Message m;
+            {
+                std::lock_guard lock(box.mutex);
+                if (box.queue.empty()) break;
+                m = std::move(box.queue.front());
+                box.queue.pop_front();
+            }
+            ps.handleMessage(m);
+            if (ps.terminated()) return;
+        }
+        if (ps.hasWork()) {
+            const double t = now(rank);
+            ps.work();
+            busyWall_[rank] += now(rank) - t;
+        } else {
+            std::unique_lock lock(box.mutex);
+            box.cv.wait_for(lock, std::chrono::milliseconds(2),
+                            [&] { return !box.queue.empty(); });
+        }
+    }
+}
+
+UgResult ThreadEngine::run(const cip::SubproblemDesc& root) {
+    const int n = cfg_.numSolvers;
+    t0_ = std::chrono::steady_clock::now();
+    lc_ = std::make_unique<LoadCoordinator>(*this, cfg_);
+    solvers_.clear();
+    solvers_.resize(n + 1);
+    busyWall_.assign(n + 1, 0.0);
+    for (int r = 1; r <= n; ++r)
+        solvers_[r] = std::make_unique<ParaSolver>(r, *this, factory_, cfg_);
+    threads_.clear();
+    for (int r = 1; r <= n; ++r)
+        threads_.emplace_back([this, r] { solverLoop(r); });
+
+    lc_->start(root);
+    Mailbox& box = *boxes_[0];
+    while (!lc_->done()) {
+        Message m;
+        bool got = false;
+        {
+            std::unique_lock lock(box.mutex);
+            box.cv.wait_for(lock, std::chrono::milliseconds(2),
+                            [&] { return !box.queue.empty(); });
+            if (!box.queue.empty()) {
+                m = std::move(box.queue.front());
+                box.queue.pop_front();
+                got = true;
+            }
+        }
+        if (got) lc_->handleMessage(m);
+        lc_->onTimer(now(0));
+    }
+
+    for (auto& t : threads_)
+        if (t.joinable()) t.join();
+    threads_.clear();
+
+    const double endTime = now(0);
+    UgResult res = lc_->result(endTime);
+    double busySum = 0.0;
+    for (int r = 1; r <= n; ++r) busySum += busyWall_[r];
+    const double total = endTime * n;
+    res.stats.idleRatio = total > 0 ? std::max(0.0, 1.0 - busySum / total) : 0.0;
+    return res;
+}
+
+}  // namespace ug

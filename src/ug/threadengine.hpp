@@ -1,0 +1,57 @@
+// ThreadEngine: the shared-memory instantiation (ug[*, C++11]) — one
+// std::thread per ParaSolver, mailbox message passing, wall-clock time.
+//
+// The LoadCoordinator runs on the calling thread. All cross-thread state is
+// confined to the mailboxes; ParaSolver/LoadCoordinator objects are only
+// ever touched by their owning thread, which is the MPI discipline that
+// makes the same logic portable to distributed memory.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ug/basesolver.hpp"
+#include "ug/config.hpp"
+#include "ug/loadcoordinator.hpp"
+#include "ug/paracomm.hpp"
+#include "ug/parasolver.hpp"
+
+namespace ug {
+
+class ThreadEngine : public ParaComm {
+public:
+    ThreadEngine(BaseSolverFactory& factory, UgConfig cfg);
+    ~ThreadEngine() override;
+
+    UgResult run(const cip::SubproblemDesc& root = {});
+
+    // ParaComm
+    int size() const override { return cfg_.numSolvers + 1; }
+    void send(int src, int dest, Message msg) override;
+    double now(int rank) const override;
+
+private:
+    struct Mailbox {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Message> queue;
+    };
+
+    void solverLoop(int rank);
+
+    BaseSolverFactory& factory_;
+    UgConfig cfg_;
+    std::vector<std::unique_ptr<Mailbox>> boxes_;
+    std::unique_ptr<LoadCoordinator> lc_;
+    std::vector<std::unique_ptr<ParaSolver>> solvers_;
+    std::vector<std::thread> threads_;
+    std::vector<double> busyWall_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace ug

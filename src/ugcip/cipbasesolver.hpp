@@ -1,0 +1,58 @@
+// Adapter wrapping cip::Solver as a ug::BaseSolver, plus the factory a UG
+// engine uses to spawn one base solver per subproblem assignment.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cip/solver.hpp"
+#include "ug/basesolver.hpp"
+#include "ugcip/userplugins.hpp"
+
+namespace ugcip {
+
+class CipBaseSolver : public ug::BaseSolver {
+public:
+    /// `modelSupplier` returns a fresh copy of the (already globally
+    /// presolved) instance; `plugins` may be null.
+    CipBaseSolver(std::function<cip::Model()> modelSupplier,
+                  CipUserPlugins* plugins, const cip::ParamSet& params);
+
+    void load(const cip::SubproblemDesc& desc,
+              const cip::Solution* incumbent) override;
+    std::int64_t step() override;
+    bool finished() const override;
+    ug::BaseStatus status() const override;
+    double dualBound() const override;
+    int numOpenNodes() const override;
+    std::int64_t nodesProcessed() const override;
+    const cip::Solution& incumbent() const override;
+    void injectSolution(const cip::Solution& sol) override;
+    std::optional<cip::SubproblemDesc> extractOpenNode() override;
+    void setIncumbentCallback(
+        std::function<void(const cip::Solution&)> cb) override;
+
+    cip::Solver& solver() { return solver_; }
+
+private:
+    cip::Solver solver_;
+};
+
+class CipSolverFactory : public ug::BaseSolverFactory {
+public:
+    CipSolverFactory(std::function<cip::Model()> modelSupplier,
+                     CipUserPlugins* plugins = nullptr)
+        : modelSupplier_(std::move(modelSupplier)), plugins_(plugins) {}
+
+    std::unique_ptr<ug::BaseSolver> create(
+        const cip::ParamSet& params) override {
+        return std::make_unique<CipBaseSolver>(modelSupplier_, plugins_,
+                                               params);
+    }
+
+private:
+    std::function<cip::Model()> modelSupplier_;
+    CipUserPlugins* plugins_;
+};
+
+}  // namespace ugcip

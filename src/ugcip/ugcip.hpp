@@ -1,0 +1,50 @@
+// FiberCIP / ParaCIP front-ends — the instantiated parallel solvers
+// ug[CIP-*, C++11] and ug[CIP-*, Sim(MPI)].
+//
+// solveWithThreads() is the shared-memory instantiation (real std::thread
+// workers); solveSimulated() is the deterministic discrete-event engine that
+// substitutes for the MPI/cluster runs of the paper (see DESIGN.md).
+#pragma once
+
+#include "ug/racing.hpp"
+#include "ug/simengine.hpp"
+#include "ug/threadengine.hpp"
+#include "ugcip/cipbasesolver.hpp"
+#include "ugcip/userplugins.hpp"
+
+namespace ugcip {
+
+/// Fill racing settings (customized if the plugins provide them, generic
+/// otherwise) when racing ramp-up is requested and no table was supplied.
+inline void prepareRacing(ug::UgConfig& cfg, CipUserPlugins* plugins) {
+    if (cfg.rampUp != ug::RampUp::Racing || !cfg.racingSettings.empty())
+        return;
+    if (plugins) cfg.racingSettings = plugins->racingSettings(cfg.numSolvers);
+    if (cfg.racingSettings.empty())
+        cfg.racingSettings = ug::makeGenericRacingSettings(cfg.numSolvers);
+}
+
+/// ug[CIP-*, C++11]: real shared-memory parallel solve.
+inline ug::UgResult solveWithThreads(std::function<cip::Model()> modelSupplier,
+                                     ug::UgConfig cfg,
+                                     CipUserPlugins* plugins = nullptr,
+                                     const cip::SubproblemDesc& root = {}) {
+    prepareRacing(cfg, plugins);
+    CipSolverFactory factory(std::move(modelSupplier), plugins);
+    ug::ThreadEngine engine(factory, std::move(cfg));
+    return engine.run(root);
+}
+
+/// ug[CIP-*, Sim]: deterministic virtual-time parallel solve (the MPI /
+/// supercomputer substitution).
+inline ug::UgResult solveSimulated(std::function<cip::Model()> modelSupplier,
+                                   ug::UgConfig cfg,
+                                   CipUserPlugins* plugins = nullptr,
+                                   const cip::SubproblemDesc& root = {}) {
+    prepareRacing(cfg, plugins);
+    CipSolverFactory factory(std::move(modelSupplier), plugins);
+    ug::SimEngine engine(factory, std::move(cfg));
+    return engine.run(root);
+}
+
+}  // namespace ugcip

@@ -1,0 +1,128 @@
+// Second LP test pass: row-bound changes (the managed-row mechanism),
+// iteration limits, duals on equality and range rows, and degenerate
+// plateau handling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+using lp::kInf;
+using lp::LpModel;
+using lp::Row;
+using lp::SimplexSolver;
+using lp::SolveStatus;
+
+TEST(SimplexRows, ChangeRowBoundsActsLikeManagedRow) {
+    // max x+y in [0,5]^2 with an initially inactive row x + y <= ?.
+    LpModel m;
+    m.addCol(-1.0, 0.0, 5.0);
+    m.addCol(-1.0, 0.0, 5.0);
+    m.addRow(Row({{0, 1.0}, {1, 1.0}}, -kInf, kInf));  // free row
+    SimplexSolver s;
+    s.load(m);
+    ASSERT_EQ(s.solve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), -10.0, 1e-8);
+    // Activate the row.
+    s.changeRowBounds(0, -kInf, 4.0);
+    ASSERT_EQ(s.resolve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), -4.0, 1e-8);
+    // Deactivate again.
+    s.changeRowBounds(0, -kInf, kInf);
+    ASSERT_EQ(s.resolve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), -10.0, 1e-8);
+    // Tighten to equality.
+    s.changeRowBounds(0, 2.0, 2.0);
+    ASSERT_EQ(s.resolve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), -2.0, 1e-8);
+}
+
+TEST(SimplexRows, RowBoundsCanMakeLpInfeasible) {
+    LpModel m;
+    m.addCol(1.0, 0.0, 1.0);
+    m.addRow(Row({{0, 1.0}}, -kInf, kInf));
+    SimplexSolver s;
+    s.load(m);
+    ASSERT_EQ(s.solve(), SolveStatus::Optimal);
+    s.changeRowBounds(0, 5.0, kInf);  // x >= 5 with x <= 1
+    EXPECT_EQ(s.resolve(), SolveStatus::Infeasible);
+    // And recover.
+    s.changeRowBounds(0, -kInf, kInf);
+    EXPECT_EQ(s.resolve(), SolveStatus::Optimal);
+}
+
+TEST(SimplexLimits, IterLimitReported) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> coef(-1.0, 1.0);
+    LpModel m;
+    const int n = 30;
+    for (int j = 0; j < n; ++j) m.addCol(coef(rng), 0.0, 2.0);
+    for (int i = 0; i < 30; ++i) {
+        std::vector<std::pair<int, double>> cs;
+        for (int j = 0; j < n; ++j) cs.emplace_back(j, coef(rng));
+        m.addRow(Row(std::move(cs), -3.0, 3.0));
+    }
+    SimplexSolver s;
+    s.load(m);
+    s.setIterLimit(3);
+    SolveStatus st = s.solve();
+    EXPECT_TRUE(st == SolveStatus::IterLimit || st == SolveStatus::Optimal);
+}
+
+TEST(SimplexDuals, EqualityRowDualMatchesShadowPrice) {
+    // min x + 3y s.t. x + y = 4, x <= 3 -> x=3,y=1, obj 6.
+    // Shadow price of the equality: d(obj)/d(rhs) = 3 (y absorbs changes).
+    LpModel m;
+    m.addCol(1.0, 0.0, 3.0);
+    m.addCol(3.0, 0.0, kInf);
+    m.addRow(Row({{0, 1.0}, {1, 1.0}}, 4.0, 4.0));
+    SimplexSolver s;
+    s.load(m);
+    ASSERT_EQ(s.solve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), 6.0, 1e-8);
+    EXPECT_NEAR(s.duals()[0], 3.0, 1e-7);
+}
+
+TEST(SimplexDuals, StrongDualityOnRangeRows) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> coef(-2.0, 2.0);
+    for (int rep = 0; rep < 8; ++rep) {
+        LpModel m;
+        const int n = 5;
+        for (int j = 0; j < n; ++j) m.addCol(coef(rng), -1.0, 2.0);
+        for (int i = 0; i < 4; ++i) {
+            std::vector<std::pair<int, double>> cs;
+            for (int j = 0; j < n; ++j) cs.emplace_back(j, coef(rng));
+            m.addRow(Row(std::move(cs), -3.0, 3.0));
+        }
+        SimplexSolver s;
+        s.load(m);
+        if (s.solve() != SolveStatus::Optimal) continue;
+        // Lagrangian check: obj == sum_i y_i * activity_i + sum_j rc_j x_j
+        // with activity at the binding side (complementary slackness).
+        const auto& x = s.primal();
+        const auto& y = s.duals();
+        const auto& rc = s.reducedCosts();
+        double lag = 0.0;
+        for (int i = 0; i < m.numRows(); ++i)
+            lag += y[i] * m.row(i).activity(x);
+        for (int j = 0; j < n; ++j) lag += rc[j] * x[j];
+        EXPECT_NEAR(lag, s.objective(), 1e-6) << "rep " << rep;
+    }
+}
+
+TEST(SimplexDegeneracy, ManyIdenticalRowsStillFast) {
+    // A heavily degenerate LP (many duplicate constraints through one
+    // vertex); the anti-degeneracy machinery must terminate quickly.
+    LpModel m;
+    m.addCol(-1.0, 0.0, kInf);
+    m.addCol(-2.0, 0.0, kInf);
+    for (int k = 0; k < 40; ++k)
+        m.addRow(Row({{0, 1.0}, {1, 1.0}}, -kInf, 3.0));
+    SimplexSolver s;
+    s.load(m);
+    ASSERT_EQ(s.solve(), SolveStatus::Optimal);
+    EXPECT_NEAR(s.objective(), -6.0, 1e-8);
+    EXPECT_LT(s.iterations(), 2000);
+}

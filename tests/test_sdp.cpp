@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/eigen.hpp"
+#include "sdp/ipm.hpp"
+
+using linalg::Matrix;
+using sdp::SdpBlock;
+using sdp::SdpProblem;
+using sdp::SdpResult;
+using sdp::SdpStatus;
+
+namespace {
+
+/// max b'y over two variables, validated against a fine grid (coarse oracle).
+double gridOracle(const SdpProblem& p, double lo, double hi, int steps) {
+    double best = -1e300;
+    const double h = (hi - lo) / steps;
+    for (int i = 0; i <= steps; ++i)
+        for (int j = 0; j <= steps; ++j) {
+            std::vector<double> y{lo + i * h, lo + j * h};
+            if (p.isFeasible(y, 1e-9)) best = std::max(best, p.objective(y));
+        }
+    return best;
+}
+
+}  // namespace
+
+TEST(Sdp, ScalarBlockActsLikeLp) {
+    // max y s.t. 3 - y >= 0 (1x1 block), y in [0, 10].
+    SdpProblem p;
+    p.init(1);
+    p.b = {1.0};
+    p.lb = {0.0};
+    p.ub = {10.0};
+    SdpBlock blk;
+    blk.dim = 1;
+    blk.c = Matrix(1, 1, 3.0);
+    blk.a = {Matrix(1, 1, 1.0)};
+    p.addBlock(std::move(blk));
+    SdpResult r = sdp::solveSdp(p);
+    ASSERT_EQ(r.status, SdpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 3.0, 1e-5);
+    EXPECT_GE(r.upperBound, r.objective - 1e-7);
+    EXPECT_LE(r.upperBound, 3.0 + 1e-4);
+}
+
+TEST(Sdp, CorrelationMatrixBound) {
+    // max y s.t. [[1, y], [y, 1]] >= 0  ->  y* = 1.
+    SdpProblem p;
+    p.init(1);
+    p.b = {1.0};
+    p.lb = {-5.0};
+    p.ub = {5.0};
+    SdpBlock blk;
+    blk.dim = 2;
+    blk.c = Matrix{{1, 0}, {0, 1}};
+    blk.a = {Matrix{{0, -1}, {-1, 0}}};  // C - A y = [[1, y],[y, 1]]
+    p.addBlock(std::move(blk));
+    SdpResult r = sdp::solveSdp(p);
+    ASSERT_EQ(r.status, SdpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 1.0, 1e-4);
+}
+
+TEST(Sdp, SmallestEigenvalueProblem) {
+    // max t s.t. A - t I >= 0  ->  t* = lambda_min(A).
+    Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+    const double lmin = linalg::smallestEigenvalue(a);
+    SdpProblem p;
+    p.init(1);
+    p.b = {1.0};
+    p.lb = {-100.0};
+    p.ub = {100.0};
+    SdpBlock blk;
+    blk.dim = 3;
+    blk.c = a;
+    blk.a = {Matrix::identity(3)};
+    p.addBlock(std::move(blk));
+    SdpResult r = sdp::solveSdp(p);
+    ASSERT_EQ(r.status, SdpStatus::Optimal);
+    EXPECT_NEAR(r.objective, lmin, 1e-4);
+}
+
+TEST(Sdp, FixedVariablesAreEliminated) {
+    // y0 fixed to 2 by bounds; max y1 s.t. 5 - y0 - y1 >= 0 -> y1 = 3.
+    SdpProblem p;
+    p.init(2);
+    p.b = {0.0, 1.0};
+    p.lb = {2.0, 0.0};
+    p.ub = {2.0, 100.0};
+    SdpBlock blk;
+    blk.dim = 1;
+    blk.c = Matrix(1, 1, 5.0);
+    blk.a = {Matrix(1, 1, 1.0), Matrix(1, 1, 1.0)};
+    p.addBlock(std::move(blk));
+    SdpResult r = sdp::solveSdp(p);
+    ASSERT_EQ(r.status, SdpStatus::Optimal);
+    EXPECT_NEAR(r.y[0], 2.0, 1e-9);
+    EXPECT_NEAR(r.objective, 3.0, 1e-4);
+}
+
+TEST(Sdp, DetectsInfeasibilityViaPenalty) {
+    // 1 - y >= 0 and y - 2 >= 0 simultaneously: empty.
+    SdpProblem p;
+    p.init(1);
+    p.b = {1.0};
+    p.lb = {-10.0};
+    p.ub = {10.0};
+    SdpBlock b1;
+    b1.dim = 1;
+    b1.c = Matrix(1, 1, 1.0);
+    b1.a = {Matrix(1, 1, 1.0)};  // 1 - y >= 0
+    p.addBlock(std::move(b1));
+    SdpBlock b2;
+    b2.dim = 1;
+    b2.c = Matrix(1, 1, -2.0);
+    b2.a = {Matrix(1, 1, -1.0)};  // y - 2 >= 0
+    p.addBlock(std::move(b2));
+    SdpResult r = sdp::solveSdp(p);
+    EXPECT_EQ(r.status, SdpStatus::Infeasible);
+    EXPECT_GT(r.penalty, 1e-4);
+}
+
+TEST(Sdp, MultipleBlocksAndBothBounds) {
+    // max y1 + y2, blocks [[2 - y1]] and [[2 - y2]], y in [0, 5]^2 -> 4.
+    SdpProblem p;
+    p.init(2);
+    p.b = {1.0, 1.0};
+    p.lb = {0.0, 0.0};
+    p.ub = {5.0, 5.0};
+    for (int i = 0; i < 2; ++i) {
+        SdpBlock blk;
+        blk.dim = 1;
+        blk.c = Matrix(1, 1, 2.0);
+        blk.a.assign(2, Matrix{});
+        blk.a[i] = Matrix(1, 1, 1.0);
+        p.addBlock(std::move(blk));
+    }
+    SdpResult r = sdp::solveSdp(p);
+    ASSERT_EQ(r.status, SdpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 4.0, 1e-4);
+}
+
+TEST(Sdp, FeasibilityCheckerAgrees) {
+    SdpProblem p;
+    p.init(1);
+    p.b = {1.0};
+    p.lb = {-5.0};
+    p.ub = {5.0};
+    SdpBlock blk;
+    blk.dim = 2;
+    blk.c = Matrix{{1, 0}, {0, 1}};
+    blk.a = {Matrix{{0, -1}, {-1, 0}}};
+    p.addBlock(std::move(blk));
+    EXPECT_TRUE(p.isFeasible({0.5}));
+    EXPECT_TRUE(p.isFeasible({1.0}, 1e-6));
+    EXPECT_FALSE(p.isFeasible({1.5}));
+    EXPECT_FALSE(p.isFeasible({6.0}));  // bound violation
+}
+
+// Property: random 2-variable SDPs against a grid oracle.
+class SdpRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdpRandom, MatchesGridOracle) {
+    std::mt19937 rng(GetParam() * 7 + 3);
+    std::uniform_real_distribution<double> coef(-1.0, 1.0);
+    for (int rep = 0; rep < 4; ++rep) {
+        SdpProblem p;
+        p.init(2);
+        p.b = {coef(rng), coef(rng)};
+        p.lb = {-2.0, -2.0};
+        p.ub = {2.0, 2.0};
+        // Block C = diag-dominant random symmetric + margin, so y = 0 is
+        // strictly feasible (Slater holds).
+        SdpBlock blk;
+        blk.dim = 3;
+        Matrix c(3, 3);
+        for (int i = 0; i < 3; ++i)
+            for (int j = i; j < 3; ++j) {
+                const double v = coef(rng);
+                c(i, j) = v;
+                c(j, i) = v;
+            }
+        for (int i = 0; i < 3; ++i) c(i, i) += 3.0;
+        blk.c = c;
+        blk.a.resize(2);
+        for (int k = 0; k < 2; ++k) {
+            Matrix a(3, 3);
+            for (int i = 0; i < 3; ++i)
+                for (int j = i; j < 3; ++j) {
+                    const double v = coef(rng);
+                    a(i, j) = v;
+                    a(j, i) = v;
+                }
+            blk.a[k] = a;
+        }
+        p.addBlock(std::move(blk));
+        SdpResult r = sdp::solveSdp(p);
+        ASSERT_EQ(r.status, SdpStatus::Optimal) << "rep " << rep;
+        const double oracle = gridOracle(p, -2.0, 2.0, 160);
+        // The solver's point must be (nearly) feasible and as good as the
+        // best grid point; its upper bound must dominate the oracle.
+        EXPECT_TRUE(p.isFeasible(r.y, 1e-5));
+        EXPECT_GE(r.objective, oracle - 0.05);
+        EXPECT_GE(r.upperBound, oracle - 1e-6);
+        EXPECT_LE(r.objective, r.upperBound + 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdpRandom, ::testing::Values(1, 2, 3, 4, 5, 6));
