@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_misdp_modes.dir/bench/ablation_misdp_modes.cpp.o"
+  "CMakeFiles/ablation_misdp_modes.dir/bench/ablation_misdp_modes.cpp.o.d"
+  "bench/ablation_misdp_modes"
+  "bench/ablation_misdp_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_misdp_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

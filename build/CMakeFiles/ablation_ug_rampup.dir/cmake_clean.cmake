@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ug_rampup.dir/bench/ablation_ug_rampup.cpp.o"
+  "CMakeFiles/ablation_ug_rampup.dir/bench/ablation_ug_rampup.cpp.o.d"
+  "bench/ablation_ug_rampup"
+  "bench/ablation_ug_rampup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ug_rampup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

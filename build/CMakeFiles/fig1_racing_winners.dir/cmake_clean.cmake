@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_racing_winners.dir/bench/fig1_racing_winners.cpp.o"
+  "CMakeFiles/fig1_racing_winners.dir/bench/fig1_racing_winners.cpp.o.d"
+  "bench/fig1_racing_winners"
+  "bench/fig1_racing_winners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_racing_winners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

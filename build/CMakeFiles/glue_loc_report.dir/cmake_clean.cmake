@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glue_loc_report.dir/bench/glue_loc_report.cpp.o"
+  "CMakeFiles/glue_loc_report.dir/bench/glue_loc_report.cpp.o.d"
+  "bench/glue_loc_report"
+  "bench/glue_loc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glue_loc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

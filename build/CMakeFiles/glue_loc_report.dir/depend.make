@@ -1,0 +1,2 @@
+# Empty dependencies file for glue_loc_report.
+# This may be replaced when dependencies are built.

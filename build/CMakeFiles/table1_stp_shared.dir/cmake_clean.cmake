@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_stp_shared.dir/bench/table1_stp_shared.cpp.o"
+  "CMakeFiles/table1_stp_shared.dir/bench/table1_stp_shared.cpp.o.d"
+  "bench/table1_stp_shared"
+  "bench/table1_stp_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_stp_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

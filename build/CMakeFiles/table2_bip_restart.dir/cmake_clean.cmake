@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bip_restart.dir/bench/table2_bip_restart.cpp.o"
+  "CMakeFiles/table2_bip_restart.dir/bench/table2_bip_restart.cpp.o.d"
+  "bench/table2_bip_restart"
+  "bench/table2_bip_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bip_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hc_racing.dir/bench/table3_hc_racing.cpp.o"
+  "CMakeFiles/table3_hc_racing.dir/bench/table3_hc_racing.cpp.o.d"
+  "bench/table3_hc_racing"
+  "bench/table3_hc_racing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hc_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

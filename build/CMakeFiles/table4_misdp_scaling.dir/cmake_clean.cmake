@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_misdp_scaling.dir/bench/table4_misdp_scaling.cpp.o"
+  "CMakeFiles/table4_misdp_scaling.dir/bench/table4_misdp_scaling.cpp.o.d"
+  "bench/table4_misdp_scaling"
+  "bench/table4_misdp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_misdp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misdp_hybrid.dir/misdp_hybrid.cpp.o"
+  "CMakeFiles/misdp_hybrid.dir/misdp_hybrid.cpp.o.d"
+  "misdp_hybrid"
+  "misdp_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misdp_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_custom_solver.dir/parallelize_custom_solver.cpp.o"
+  "CMakeFiles/parallelize_custom_solver.dir/parallelize_custom_solver.cpp.o.d"
+  "parallelize_custom_solver"
+  "parallelize_custom_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_custom_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

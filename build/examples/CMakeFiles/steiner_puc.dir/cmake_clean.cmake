@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner_puc.dir/steiner_puc.cpp.o"
+  "CMakeFiles/steiner_puc.dir/steiner_puc.cpp.o.d"
+  "steiner_puc"
+  "steiner_puc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner_puc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

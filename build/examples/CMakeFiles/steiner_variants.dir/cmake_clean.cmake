@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner_variants.dir/steiner_variants.cpp.o"
+  "CMakeFiles/steiner_variants.dir/steiner_variants.cpp.o.d"
+  "steiner_variants"
+  "steiner_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cip.dir/params.cpp.o"
+  "CMakeFiles/cip.dir/params.cpp.o.d"
+  "CMakeFiles/cip.dir/solver.cpp.o"
+  "CMakeFiles/cip.dir/solver.cpp.o.d"
+  "libcip.a"
+  "libcip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

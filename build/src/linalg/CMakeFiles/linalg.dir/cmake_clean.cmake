@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg.dir/eigen.cpp.o"
+  "CMakeFiles/linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/linalg.dir/factor.cpp.o"
+  "CMakeFiles/linalg.dir/factor.cpp.o.d"
+  "CMakeFiles/linalg.dir/matrix.cpp.o"
+  "CMakeFiles/linalg.dir/matrix.cpp.o.d"
+  "liblinalg.a"
+  "liblinalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

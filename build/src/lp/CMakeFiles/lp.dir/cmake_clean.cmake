@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp.dir/simplex.cpp.o"
+  "CMakeFiles/lp.dir/simplex.cpp.o.d"
+  "liblp.a"
+  "liblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

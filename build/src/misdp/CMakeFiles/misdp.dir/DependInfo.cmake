@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/misdp/instances.cpp" "src/misdp/CMakeFiles/misdp.dir/instances.cpp.o" "gcc" "src/misdp/CMakeFiles/misdp.dir/instances.cpp.o.d"
+  "/root/repo/src/misdp/io.cpp" "src/misdp/CMakeFiles/misdp.dir/io.cpp.o" "gcc" "src/misdp/CMakeFiles/misdp.dir/io.cpp.o.d"
+  "/root/repo/src/misdp/plugins.cpp" "src/misdp/CMakeFiles/misdp.dir/plugins.cpp.o" "gcc" "src/misdp/CMakeFiles/misdp.dir/plugins.cpp.o.d"
+  "/root/repo/src/misdp/solver.cpp" "src/misdp/CMakeFiles/misdp.dir/solver.cpp.o" "gcc" "src/misdp/CMakeFiles/misdp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cip/CMakeFiles/cip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

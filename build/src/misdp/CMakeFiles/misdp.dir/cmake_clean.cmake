@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misdp.dir/instances.cpp.o"
+  "CMakeFiles/misdp.dir/instances.cpp.o.d"
+  "CMakeFiles/misdp.dir/io.cpp.o"
+  "CMakeFiles/misdp.dir/io.cpp.o.d"
+  "CMakeFiles/misdp.dir/plugins.cpp.o"
+  "CMakeFiles/misdp.dir/plugins.cpp.o.d"
+  "CMakeFiles/misdp.dir/solver.cpp.o"
+  "CMakeFiles/misdp.dir/solver.cpp.o.d"
+  "libmisdp.a"
+  "libmisdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for misdp.
+# This may be replaced when dependencies are built.

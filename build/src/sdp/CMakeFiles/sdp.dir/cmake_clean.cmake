@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdp.dir/ipm.cpp.o"
+  "CMakeFiles/sdp.dir/ipm.cpp.o.d"
+  "libsdp.a"
+  "libsdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/dualascent.cpp" "src/steiner/CMakeFiles/steiner.dir/dualascent.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/dualascent.cpp.o.d"
+  "/root/repo/src/steiner/exactdp.cpp" "src/steiner/CMakeFiles/steiner.dir/exactdp.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/exactdp.cpp.o.d"
+  "/root/repo/src/steiner/graph.cpp" "src/steiner/CMakeFiles/steiner.dir/graph.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/graph.cpp.o.d"
+  "/root/repo/src/steiner/heuristics.cpp" "src/steiner/CMakeFiles/steiner.dir/heuristics.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/heuristics.cpp.o.d"
+  "/root/repo/src/steiner/instances.cpp" "src/steiner/CMakeFiles/steiner.dir/instances.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/instances.cpp.o.d"
+  "/root/repo/src/steiner/maxflow.cpp" "src/steiner/CMakeFiles/steiner.dir/maxflow.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/maxflow.cpp.o.d"
+  "/root/repo/src/steiner/plugins.cpp" "src/steiner/CMakeFiles/steiner.dir/plugins.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/plugins.cpp.o.d"
+  "/root/repo/src/steiner/reductions.cpp" "src/steiner/CMakeFiles/steiner.dir/reductions.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/reductions.cpp.o.d"
+  "/root/repo/src/steiner/shortest.cpp" "src/steiner/CMakeFiles/steiner.dir/shortest.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/shortest.cpp.o.d"
+  "/root/repo/src/steiner/stpmodel.cpp" "src/steiner/CMakeFiles/steiner.dir/stpmodel.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/stpmodel.cpp.o.d"
+  "/root/repo/src/steiner/stpsolver.cpp" "src/steiner/CMakeFiles/steiner.dir/stpsolver.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/stpsolver.cpp.o.d"
+  "/root/repo/src/steiner/variants.cpp" "src/steiner/CMakeFiles/steiner.dir/variants.cpp.o" "gcc" "src/steiner/CMakeFiles/steiner.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cip/CMakeFiles/cip.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

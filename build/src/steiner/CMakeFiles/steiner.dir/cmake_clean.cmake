@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner.dir/dualascent.cpp.o"
+  "CMakeFiles/steiner.dir/dualascent.cpp.o.d"
+  "CMakeFiles/steiner.dir/exactdp.cpp.o"
+  "CMakeFiles/steiner.dir/exactdp.cpp.o.d"
+  "CMakeFiles/steiner.dir/graph.cpp.o"
+  "CMakeFiles/steiner.dir/graph.cpp.o.d"
+  "CMakeFiles/steiner.dir/heuristics.cpp.o"
+  "CMakeFiles/steiner.dir/heuristics.cpp.o.d"
+  "CMakeFiles/steiner.dir/instances.cpp.o"
+  "CMakeFiles/steiner.dir/instances.cpp.o.d"
+  "CMakeFiles/steiner.dir/maxflow.cpp.o"
+  "CMakeFiles/steiner.dir/maxflow.cpp.o.d"
+  "CMakeFiles/steiner.dir/plugins.cpp.o"
+  "CMakeFiles/steiner.dir/plugins.cpp.o.d"
+  "CMakeFiles/steiner.dir/reductions.cpp.o"
+  "CMakeFiles/steiner.dir/reductions.cpp.o.d"
+  "CMakeFiles/steiner.dir/shortest.cpp.o"
+  "CMakeFiles/steiner.dir/shortest.cpp.o.d"
+  "CMakeFiles/steiner.dir/stpmodel.cpp.o"
+  "CMakeFiles/steiner.dir/stpmodel.cpp.o.d"
+  "CMakeFiles/steiner.dir/stpsolver.cpp.o"
+  "CMakeFiles/steiner.dir/stpsolver.cpp.o.d"
+  "CMakeFiles/steiner.dir/variants.cpp.o"
+  "CMakeFiles/steiner.dir/variants.cpp.o.d"
+  "libsteiner.a"
+  "libsteiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ug/checkpoint.cpp" "src/ug/CMakeFiles/ug.dir/checkpoint.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ug/loadcoordinator.cpp" "src/ug/CMakeFiles/ug.dir/loadcoordinator.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/loadcoordinator.cpp.o.d"
+  "/root/repo/src/ug/parasolver.cpp" "src/ug/CMakeFiles/ug.dir/parasolver.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/parasolver.cpp.o.d"
+  "/root/repo/src/ug/racing.cpp" "src/ug/CMakeFiles/ug.dir/racing.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/racing.cpp.o.d"
+  "/root/repo/src/ug/simengine.cpp" "src/ug/CMakeFiles/ug.dir/simengine.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/simengine.cpp.o.d"
+  "/root/repo/src/ug/threadengine.cpp" "src/ug/CMakeFiles/ug.dir/threadengine.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/threadengine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cip/CMakeFiles/cip.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ug.dir/checkpoint.cpp.o"
+  "CMakeFiles/ug.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ug.dir/loadcoordinator.cpp.o"
+  "CMakeFiles/ug.dir/loadcoordinator.cpp.o.d"
+  "CMakeFiles/ug.dir/parasolver.cpp.o"
+  "CMakeFiles/ug.dir/parasolver.cpp.o.d"
+  "CMakeFiles/ug.dir/racing.cpp.o"
+  "CMakeFiles/ug.dir/racing.cpp.o.d"
+  "CMakeFiles/ug.dir/simengine.cpp.o"
+  "CMakeFiles/ug.dir/simengine.cpp.o.d"
+  "CMakeFiles/ug.dir/threadengine.cpp.o"
+  "CMakeFiles/ug.dir/threadengine.cpp.o.d"
+  "libug.a"
+  "libug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ugcip.dir/cipbasesolver.cpp.o"
+  "CMakeFiles/ugcip.dir/cipbasesolver.cpp.o.d"
+  "CMakeFiles/ugcip.dir/misdp_plugins.cpp.o"
+  "CMakeFiles/ugcip.dir/misdp_plugins.cpp.o.d"
+  "CMakeFiles/ugcip.dir/stp_plugins.cpp.o"
+  "CMakeFiles/ugcip.dir/stp_plugins.cpp.o.d"
+  "libugcip.a"
+  "libugcip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ugcip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

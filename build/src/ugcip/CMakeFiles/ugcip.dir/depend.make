@@ -1,0 +1,2 @@
+# Empty dependencies file for ugcip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cip_features.dir/test_cip_features.cpp.o"
+  "CMakeFiles/test_cip_features.dir/test_cip_features.cpp.o.d"
+  "test_cip_features"
+  "test_cip_features.pdb"
+  "test_cip_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cip_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_features.dir/test_lp_features.cpp.o"
+  "CMakeFiles/test_lp_features.dir/test_lp_features.cpp.o.d"
+  "test_lp_features"
+  "test_lp_features.pdb"
+  "test_lp_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misdp.dir/test_misdp.cpp.o"
+  "CMakeFiles/test_misdp.dir/test_misdp.cpp.o.d"
+  "test_misdp"
+  "test_misdp.pdb"
+  "test_misdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stp_model.dir/test_stp_model.cpp.o"
+  "CMakeFiles/test_stp_model.dir/test_stp_model.cpp.o.d"
+  "test_stp_model"
+  "test_stp_model.pdb"
+  "test_stp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ug.dir/test_ug.cpp.o"
+  "CMakeFiles/test_ug.dir/test_ug.cpp.o.d"
+  "test_ug"
+  "test_ug.pdb"
+  "test_ug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ug_protocol.dir/test_ug_protocol.cpp.o"
+  "CMakeFiles/test_ug_protocol.dir/test_ug_protocol.cpp.o.d"
+  "test_ug_protocol"
+  "test_ug_protocol.pdb"
+  "test_ug_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ug_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ugcip.dir/test_ugcip.cpp.o"
+  "CMakeFiles/test_ugcip.dir/test_ugcip.cpp.o.d"
+  "test_ugcip"
+  "test_ugcip.pdb"
+  "test_ugcip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ugcip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_cip[1]_include.cmake")
+include("/root/repo/build/tests/test_ug[1]_include.cmake")
+include("/root/repo/build/tests/test_steiner[1]_include.cmake")
+include("/root/repo/build/tests/test_sdp[1]_include.cmake")
+include("/root/repo/build/tests/test_misdp[1]_include.cmake")
+include("/root/repo/build/tests/test_ugcip[1]_include.cmake")
+include("/root/repo/build/tests/test_cip_features[1]_include.cmake")
+include("/root/repo/build/tests/test_stp_model[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_lp_features[1]_include.cmake")
+include("/root/repo/build/tests/test_ug_protocol[1]_include.cmake")
