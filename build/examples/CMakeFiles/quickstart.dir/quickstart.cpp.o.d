@@ -248,21 +248,21 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ug/basesolver.hpp \
- /root/repo/src/ug/config.hpp /root/repo/src/ug/loadcoordinator.hpp \
- /root/repo/src/ug/paracomm.hpp /root/repo/src/ug/message.hpp \
- /root/repo/src/ug/parasolver.hpp /root/repo/src/ug/threadengine.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/ug/config.hpp /root/repo/src/ug/faultycomm.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/ug/paracomm.hpp \
+ /root/repo/src/ug/message.hpp /root/repo/src/ug/loadcoordinator.hpp \
+ /root/repo/src/ug/parasolver.hpp /root/repo/src/ug/threadengine.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/thread /root/repo/src/ugcip/cipbasesolver.hpp \
  /root/repo/src/ugcip/userplugins.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ug/checkpoint.cpp" "src/ug/CMakeFiles/ug.dir/checkpoint.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ug/faultycomm.cpp" "src/ug/CMakeFiles/ug.dir/faultycomm.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/faultycomm.cpp.o.d"
   "/root/repo/src/ug/loadcoordinator.cpp" "src/ug/CMakeFiles/ug.dir/loadcoordinator.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/loadcoordinator.cpp.o.d"
   "/root/repo/src/ug/parasolver.cpp" "src/ug/CMakeFiles/ug.dir/parasolver.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/parasolver.cpp.o.d"
   "/root/repo/src/ug/racing.cpp" "src/ug/CMakeFiles/ug.dir/racing.cpp.o" "gcc" "src/ug/CMakeFiles/ug.dir/racing.cpp.o.d"

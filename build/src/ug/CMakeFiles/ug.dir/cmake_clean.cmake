@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ug.dir/checkpoint.cpp.o"
   "CMakeFiles/ug.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ug.dir/faultycomm.cpp.o"
+  "CMakeFiles/ug.dir/faultycomm.cpp.o.d"
   "CMakeFiles/ug.dir/loadcoordinator.cpp.o"
   "CMakeFiles/ug.dir/loadcoordinator.cpp.o.d"
   "CMakeFiles/ug.dir/parasolver.cpp.o"

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ug_faults.cpp" "tests/CMakeFiles/test_ug_faults.dir/test_ug_faults.cpp.o" "gcc" "tests/CMakeFiles/test_ug_faults.dir/test_ug_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ugcip/CMakeFiles/ugcip.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/misdp/CMakeFiles/misdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ug/CMakeFiles/ug.dir/DependInfo.cmake"
+  "/root/repo/build/src/cip/CMakeFiles/cip.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

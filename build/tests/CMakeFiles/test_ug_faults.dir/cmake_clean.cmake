@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ug_faults.dir/test_ug_faults.cpp.o"
+  "CMakeFiles/test_ug_faults.dir/test_ug_faults.cpp.o.d"
+  "test_ug_faults"
+  "test_ug_faults.pdb"
+  "test_ug_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ug_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

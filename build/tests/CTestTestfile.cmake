@@ -17,3 +17,4 @@ include("/root/repo/build/tests/test_stp_model[1]_include.cmake")
 include("/root/repo/build/tests/test_variants[1]_include.cmake")
 include("/root/repo/build/tests/test_lp_features[1]_include.cmake")
 include("/root/repo/build/tests/test_ug_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_ug_faults[1]_include.cmake")

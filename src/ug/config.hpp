@@ -11,6 +11,36 @@ namespace ug {
 
 enum class RampUp { Normal, Racing };
 
+/// Fault-injection plan executed by FaultyComm (see faultycomm.hpp). All
+/// randomness comes from `seed`, so a given plan replays identically on the
+/// deterministic SimEngine. Message drops model lost traffic from a failing
+/// process; kill/hang model the process failure itself. Tag::Termination is
+/// always delivered (shutdown is assumed reliable) and Tag::NodeTransfer is
+/// never dropped or delayed (losing or reordering a transferred node past
+/// its sender's Terminated report would silently lose coverage; a *killed*
+/// rank's in-flight transfers are safe because its whole root is requeued).
+struct FaultPlan {
+    unsigned seed = 20190814u;  ///< RNG seed (reproducibility)
+
+    double dropProb = 0.0;       ///< per-message drop probability
+    double delayProb = 0.0;      ///< per-message extra-latency probability
+    double delaySeconds = 0.01;  ///< extra latency applied to delayed messages
+    double duplicateProb = 0.0;  ///< per-message duplication probability
+    double reorderProb = 0.0;    ///< probability of an overtaking-window hold
+    double reorderWindow = 0.005;///< latency that lets later messages overtake
+
+    int killRank = -1;             ///< solver rank to fail (-1: none)
+    long long killAfterSends = 0;  ///< outbound messages before the failure
+    bool hang = false;  ///< hang (keeps computing/receiving, stops sending)
+                        ///< instead of crash (all traffic stops)
+
+    /// Whether any fault is configured (engines wrap their comm iff so).
+    bool active() const {
+        return dropProb > 0 || delayProb > 0 || duplicateProb > 0 ||
+               reorderProb > 0 || killRank >= 0;
+    }
+};
+
 struct UgConfig {
     int numSolvers = 4;
     RampUp rampUp = RampUp::Normal;
@@ -45,6 +75,21 @@ struct UgConfig {
     std::string checkpointFile;     ///< path for checkpoint save (empty: off)
     double checkpointInterval = 0;  ///< engine seconds between saves (0: only on stop)
     bool restartFromCheckpoint = false;
+
+    /// Liveness: a solver that is marked active but has sent nothing (its
+    /// liveness piggybacks on Tag::Status) for this many engine seconds is
+    /// declared dead — its assigned root is requeued into the pool and the
+    /// rank is excluded from all future scheduling decisions. 0 disables
+    /// failure detection (the seed behaviour). Must comfortably exceed the
+    /// worst-case base-solver step time plus message latency, or slow-but-
+    /// alive solvers get declared dead (correct but wasteful).
+    double heartbeatTimeout = 0.0;
+
+    /// Fault injection (off by default); see FaultPlan. dropProb > 0 needs
+    /// heartbeatTimeout > 0 for guaranteed termination, since a dropped
+    /// assignment or Terminated report is only recovered via the failure
+    /// detector.
+    FaultPlan faults;
 };
 
 struct UgStats {
@@ -60,6 +105,18 @@ struct UgStats {
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart
+
+    // Fault tolerance.
+    long long requeuedNodes = 0;   ///< roots requeued after a solver failure
+    int deadSolvers = 0;           ///< ranks declared dead by the heartbeat
+    long long ignoredMessages = 0; ///< stale/duplicate messages discarded
+
+    // Fault injection (filled from FaultyComm when a plan is active).
+    long long msgsDropped = 0;
+    long long msgsDelayed = 0;
+    long long msgsDuplicated = 0;
+    long long msgsReordered = 0;
+    long long msgsSwallowedDead = 0;  ///< traffic from/to a killed rank
 };
 
 enum class UgStatus { Optimal, Infeasible, TimeLimit, Failed };

@@ -1,0 +1,104 @@
+#include "ug/faultycomm.hpp"
+
+namespace ug {
+
+FaultyComm::FaultyComm(ParaComm& inner, const FaultPlan& plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+bool FaultyComm::killed(int rank) const {
+    std::lock_guard lock(mu_);
+    return tripped_ && !plan_.hang && rank == plan_.killRank;
+}
+
+bool FaultyComm::silenced(int rank) const {
+    std::lock_guard lock(mu_);
+    return tripped_ && rank == plan_.killRank;
+}
+
+FaultyComm::Counters FaultyComm::counters() const {
+    std::lock_guard lock(mu_);
+    return c_;
+}
+
+void FaultyComm::send(int src, int dest, Message msg) {
+    std::unique_lock lock(mu_);
+
+    // Kill/hang: after the victim's killAfterSends-th outbound message, all
+    // further traffic it emits is swallowed; a crashed (non-hang) victim
+    // also stops receiving — except Termination, so engine threads can
+    // still shut down cleanly.
+    if (plan_.killRank >= 0) {
+        if (src == plan_.killRank) {
+            ++victimSends_;
+            if (victimSends_ > plan_.killAfterSends) tripped_ = true;
+        }
+        if (tripped_) {
+            if (src == plan_.killRank ||
+                (dest == plan_.killRank && !plan_.hang &&
+                 msg.tag != Tag::Termination)) {
+                ++c_.swallowedDead;
+                return;
+            }
+        }
+    }
+
+    // Shutdown is reliable: Termination bypasses every message fault.
+    if (msg.tag != Tag::Termination) {
+        const double u =
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+        const bool protectedTag = msg.tag == Tag::NodeTransfer;
+        double lo = 0.0;
+        auto roll = [&](double p) {
+            const bool hit = u >= lo && u < lo + p;
+            lo += p;
+            return hit;
+        };
+        if (roll(plan_.dropProb)) {
+            if (!protectedTag) {
+                ++c_.dropped;
+                return;
+            }
+            // NodeTransfer survives the drop roll (delivered normally).
+        } else if (roll(plan_.delayProb)) {
+            if (!protectedTag) {
+                ++c_.delayed;
+                ++c_.delivered;
+                lock.unlock();
+                inner_.sendDelayed(src, dest, std::move(msg),
+                                   plan_.delaySeconds);
+                return;
+            }
+        } else if (roll(plan_.duplicateProb)) {
+            ++c_.duplicated;
+            ++c_.delivered;
+            Message copy = msg;
+            lock.unlock();
+            inner_.send(src, dest, std::move(copy));
+            inner_.send(src, dest, std::move(msg));
+            return;
+        } else if (roll(plan_.reorderProb)) {
+            if (!protectedTag) {
+                // Overtaking window: this message is held back just long
+                // enough for traffic sent after it to arrive first.
+                ++c_.reordered;
+                ++c_.delivered;
+                lock.unlock();
+                inner_.sendDelayed(src, dest, std::move(msg),
+                                   plan_.reorderWindow);
+                return;
+            }
+        }
+    }
+
+    ++c_.delivered;
+    lock.unlock();
+    inner_.send(src, dest, std::move(msg));
+}
+
+void FaultyComm::sendDelayed(int src, int dest, Message msg,
+                             double delaySeconds) {
+    // Only the fault layer itself issues delayed sends; forward verbatim.
+    inner_.sendDelayed(src, dest, std::move(msg), delaySeconds);
+}
+
+}  // namespace ug

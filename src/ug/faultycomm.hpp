@@ -1,0 +1,72 @@
+// FaultyComm: a fault-injecting decorator over any ParaComm.
+//
+// Sits between the LoadCoordinator/ParaSolvers and the real engine comm and
+// perturbs traffic according to a seeded FaultPlan: drop, extra latency
+// (delay), duplication, reordering (a short overtaking window implemented as
+// latency, so delivery is guaranteed and no message can be held forever),
+// and killing or hanging one chosen solver rank after a chosen number of
+// its outbound messages. Works with both ThreadEngine (thread-safe, wall
+// clock) and SimEngine (single-threaded, virtual clock — runs are exactly
+// reproducible for a fixed seed).
+//
+// Protocol-safety exemptions (see src/ug/README.md for the invariants):
+//  - Tag::Termination is always delivered verbatim: shutdown is reliable.
+//  - Tag::NodeTransfer is never dropped, delayed or reordered: a transferred
+//    node is the only copy of that part of the search space once its
+//    sender's Terminated(completed) is processed, so losing it — or letting
+//    it arrive after done-detection — would silently lose coverage. It MAY
+//    be duplicated (redundant coverage is harmless) and it dies with a
+//    killed rank (safe: the victim's whole assigned root is requeued).
+#pragma once
+
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "ug/config.hpp"
+#include "ug/paracomm.hpp"
+
+namespace ug {
+
+class FaultyComm : public ParaComm {
+public:
+    FaultyComm(ParaComm& inner, const FaultPlan& plan);
+
+    struct Counters {
+        long long delivered = 0;
+        long long dropped = 0;
+        long long delayed = 0;
+        long long duplicated = 0;
+        long long reordered = 0;
+        long long swallowedDead = 0;  ///< messages from/to the killed rank
+    };
+
+    // ParaComm
+    int size() const override { return inner_.size(); }
+    void send(int src, int dest, Message msg) override;
+    void sendDelayed(int src, int dest, Message msg,
+                     double delaySeconds) override;
+    double now(int rank) const override { return inner_.now(rank); }
+
+    /// True once `rank` has crashed (kill plan tripped, not hang mode).
+    /// Engines stop executing a crashed rank; a *hung* rank keeps computing
+    /// and receiving, only its outbound traffic is swallowed.
+    bool killed(int rank) const;
+
+    /// True once `rank` is silenced (crashed or hung).
+    bool silenced(int rank) const;
+
+    Counters counters() const;
+
+private:
+    ParaComm& inner_;
+    const FaultPlan plan_;
+
+    mutable std::mutex mu_;
+    std::mt19937 rng_;
+    long long victimSends_ = 0;  ///< outbound messages seen from killRank
+    bool tripped_ = false;       ///< kill/hang threshold reached
+    Counters c_;
+};
+
+}  // namespace ug

@@ -21,6 +21,13 @@ int LoadCoordinator::activeCount() const {
     return c;
 }
 
+int LoadCoordinator::aliveCount() const {
+    int c = 0;
+    for (int r = 1; r <= cfg_.numSolvers; ++r)
+        if (!info_[r].dead) ++c;
+    return c;
+}
+
 void LoadCoordinator::noteActivity() {
     const int act = activeCount();
     const double now = comm_.now(0);
@@ -66,6 +73,7 @@ void LoadCoordinator::start(const cip::SubproblemDesc& root) {
             info_[r].active = true;
             info_[r].settingId = idx;
             info_[r].assigned = root;
+            info_[r].lastHeard = racingStart_;
             comm_.send(0, r, m);
         }
         noteActivity();
@@ -82,7 +90,7 @@ void LoadCoordinator::assignNodes() {
     while (!pool_.empty()) {
         int idleRank = -1;
         for (int r = 1; r <= cfg_.numSolvers; ++r) {
-            if (!info_[r].active) {
+            if (!info_[r].active && !info_[r].dead) {
                 idleRank = r;
                 break;
             }
@@ -104,6 +112,7 @@ void LoadCoordinator::assignNodes() {
         info_[idleRank].dualBound = desc.lowerBound;
         info_[idleRank].openNodes = 0;
         info_[idleRank].assigned = std::move(desc);
+        info_[idleRank].lastHeard = comm_.now(0);
         ++stats_.transferredNodes;
         comm_.send(0, idleRank, m);
         noteActivity();
@@ -114,7 +123,7 @@ void LoadCoordinator::updateCollectMode() {
     if (racingPhase_ || stopping_ || done_) return;
     int idle = 0;
     for (int r = 1; r <= cfg_.numSolvers; ++r)
-        if (!info_[r].active) ++idle;
+        if (!info_[r].active && !info_[r].dead) ++idle;
     const std::size_t target = static_cast<std::size_t>(
         std::max(1, cfg_.poolTargetPerSolver * std::max(idle, 1)));
     const bool wantCollect =
@@ -147,11 +156,25 @@ void LoadCoordinator::updateCollectMode() {
 void LoadCoordinator::broadcastSolution() {
     if (!best_.valid()) return;
     for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        if (info_[r].dead) continue;
         Message m;
         m.tag = Tag::SolutionPush;
         m.sol = best_;
         comm_.send(0, r, m);
     }
+}
+
+bool LoadCoordinator::adoptSolution(const cip::Solution& sol) {
+    if (!sol.valid() || (best_.valid() && sol.obj >= best_.obj - 1e-12))
+        return false;
+    best_ = sol;
+    cutoff_ = best_.obj;
+    // Drop pool nodes that are now cut off.
+    std::erase_if(pool_, [&](const cip::SubproblemDesc& d) {
+        return d.lowerBound >= cutoff_ - 1e-9;
+    });
+    broadcastSolution();
+    return true;
 }
 
 void LoadCoordinator::pickRacingWinner() {
@@ -161,7 +184,7 @@ void LoadCoordinator::pickRacingWinner() {
     int winner = -1;
     for (int r = 1; r <= cfg_.numSolvers; ++r) {
         const SolverInfo& si = info_[r];
-        if (!si.active) continue;
+        if (!si.active || si.dead) continue;
         if (winner < 0 ||
             si.dualBound > info_[winner].dualBound + 1e-12 ||
             (std::fabs(si.dualBound - info_[winner].dualBound) <= 1e-12 &&
@@ -178,28 +201,57 @@ void LoadCoordinator::pickRacingWinner() {
     }
 }
 
+void LoadCoordinator::maybeFinishRacing() {
+    if (!racingPhase_ || activeCount() > 0) return;
+    racingPhase_ = false;
+    if (instanceSolvedInRacing_) {
+        pool_.clear();
+    } else if (pool_.empty()) {
+        // Winner delivered no open nodes (interrupted mid-node, or it died
+        // before handing its frontier over): fall back to re-exploring from
+        // the root with the accumulated incumbent. Correctness over lost
+        // work.
+        pool_.push_back(rootDesc_);
+    }
+    assignNodes();
+    updateCollectMode();
+}
+
 void LoadCoordinator::handleMessage(const Message& m) {
     if (done_) return;
     const int r = m.src;
     if (r < 1 || r > cfg_.numSolvers) return;
     SolverInfo& si = info_[r];
 
+    if (si.dead) {
+        // Stale traffic from a rank the failure detector already wrote off:
+        // its assigned root was requeued, so everything it reports is
+        // re-derived elsewhere. Solutions are still self-contained
+        // certificates, though — adopt those, discard the rest.
+        if (m.tag == Tag::SolutionFound) {
+            ++stats_.solutionsFound;
+            adoptSolution(m.sol);
+        } else {
+            ++stats_.ignoredMessages;
+        }
+        return;
+    }
+    si.lastHeard = comm_.now(0);
+
     switch (m.tag) {
         case Tag::SolutionFound: {
             ++stats_.solutionsFound;
-            if (m.sol.valid() &&
-                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
-                best_ = m.sol;
-                cutoff_ = best_.obj;
-                // Drop pool nodes that are now cut off.
-                std::erase_if(pool_, [&](const cip::SubproblemDesc& d) {
-                    return d.lowerBound >= cutoff_ - 1e-9;
-                });
-                broadcastSolution();
-            }
+            adoptSolution(m.sol);
             break;
         }
         case Tag::Status: {
+            if (!si.active) {
+                // Stale report delivered after the rank's Terminated was
+                // processed (reordered or duplicated traffic); its counters
+                // no longer describe a running subproblem.
+                ++stats_.ignoredMessages;
+                break;
+            }
             si.dualBound = std::max(si.dualBound, m.dualBound);
             si.openNodes = m.openNodes;
             si.nodesProcessed = m.nodesProcessed;
@@ -211,6 +263,10 @@ void LoadCoordinator::handleMessage(const Message& m) {
             break;
         }
         case Tag::NodeTransfer: {
+            // Accepted even from an inactive rank: a node sent just before
+            // the sender's Terminated(completed) is the only copy of that
+            // part of the search space. (Dead ranks were filtered above —
+            // their coverage travels via the requeued root instead.)
             ++stats_.collectedNodes;
             if (!(cutoff_ < cip::kInf &&
                   m.desc.lowerBound >= cutoff_ - 1e-9))
@@ -222,12 +278,16 @@ void LoadCoordinator::handleMessage(const Message& m) {
             break;
         }
         case Tag::RacingFinished: {
-            // A racer solved the instance outright during the racing stage.
-            if (m.sol.valid() &&
-                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
-                best_ = m.sol;
-                cutoff_ = best_.obj;
+            if (!si.active || !racingPhase_) {
+                // Duplicate, or a straggler arriving after racing already
+                // ended; the first copy did all the work, but the attached
+                // solution is still a certificate.
+                ++stats_.ignoredMessages;
+                adoptSolution(m.sol);
+                break;
             }
+            // A racer solved the instance outright during the racing stage.
+            adoptSolution(m.sol);
             instanceSolvedInRacing_ = true;
             si.active = false;
             si.assigned.reset();
@@ -243,37 +303,41 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 }
             }
             racingWinnerPicked_ = true;
-            if (activeCount() == 0) {
-                racingPhase_ = false;
-                pool_.clear();
-                checkDone();
-            }
+            maybeFinishRacing();
+            checkDone();
             break;
         }
         case Tag::Terminated: {
+            if (!si.active) {
+                // A second Terminated from the same rank (duplicated
+                // message, or a re-solve triggered by a duplicated
+                // assignment). Folding it in again would double-count the
+                // statistics and could requeue an already-covered root.
+                ++stats_.ignoredMessages;
+                adoptSolution(m.sol);  // its incumbent is still a certificate
+                break;
+            }
             si.active = false;
             si.collecting = false;
             stats_.totalNodesProcessed += m.nodesProcessed;
             stats_.busyUnits += m.busyCost;
-            if (m.sol.valid() &&
-                (!best_.valid() || m.sol.obj < best_.obj - 1e-12)) {
-                best_ = m.sol;
-                cutoff_ = best_.obj;
-                broadcastSolution();
-            }
+            adoptSolution(m.sol);
             if (m.completed) {
                 si.assigned.reset();
                 if (m.dualBound > -cip::kInf)
                     si.dualBound = std::max(si.dualBound, m.dualBound);
             } else if (stopping_ || racingPhase_) {
                 // Shutdown (root already checkpointed) or racing loser
-                // (tree intentionally discarded; root retention below keeps
-                // the search exhaustive).
+                // (tree intentionally discarded; the maybeFinishRacing
+                // root fallback keeps the search exhaustive).
                 si.assigned.reset();
             } else {
                 // Unexpected incomplete termination (solver failure): the
                 // subproblem's coverage would be lost — requeue its root.
-                if (si.assigned) pool_.push_back(*si.assigned);
+                if (si.assigned) {
+                    pool_.push_back(*si.assigned);
+                    ++stats_.requeuedNodes;
+                }
                 si.assigned.reset();
             }
             si.openNodes = 0;
@@ -282,20 +346,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 break;
             }
             if (racingPhase_) {
-                if (activeCount() == 0) {
-                    racingPhase_ = false;
-                    if (instanceSolvedInRacing_) {
-                        pool_.clear();
-                    } else if (pool_.empty()) {
-                        // Winner delivered no open nodes (e.g. interrupted
-                        // mid-node): fall back to re-exploring from the root
-                        // with the accumulated incumbent. Correctness over
-                        // lost work.
-                        pool_.push_back(rootDesc_);
-                    }
-                    assignNodes();
-                    updateCollectMode();
-                }
+                maybeFinishRacing();
             } else {
                 assignNodes();
                 updateCollectMode();
@@ -304,7 +355,8 @@ void LoadCoordinator::handleMessage(const Message& m) {
             break;
         }
         default:
-            break;  // supervisor->worker tags never arrive here
+            ++stats_.ignoredMessages;
+            break;  // supervisor->worker tags never legitimately arrive here
     }
 }
 
@@ -353,6 +405,66 @@ void LoadCoordinator::forceStop() {
     if (!anyActive) terminateAll();
 }
 
+void LoadCoordinator::checkHeartbeats(double now) {
+    if (cfg_.heartbeatTimeout <= 0 || done_) return;
+    bool anyDied = false;
+    for (int r = 1; r <= cfg_.numSolvers; ++r) {
+        SolverInfo& si = info_[r];
+        if (!si.active || si.dead) continue;
+        if (now - si.lastHeard < cfg_.heartbeatTimeout) continue;
+
+        // Rank r is active but has been silent too long: declare it dead.
+        si.dead = true;
+        si.active = false;
+        si.collecting = false;
+        ++stats_.deadSolvers;
+        anyDied = true;
+        // Fold in its last reported progress — the authoritative Terminated
+        // report will never come (and is ignored if it does).
+        stats_.totalNodesProcessed += si.nodesProcessed;
+        stats_.busyUnits += si.busyUnits;
+        si.nodesProcessed = 0;
+        si.busyUnits = 0;
+        si.openNodes = 0;
+        if (si.assigned && !racingPhase_ && !stopping_) {
+            // The requeue-on-failure invariant: the victim's primitive root
+            // goes back into the pool, so its subtree is re-covered. During
+            // racing every racer holds the same root (maybeFinishRacing
+            // restores one copy if all racers die); during shutdown the
+            // root is already in the checkpoint.
+            pool_.push_back(*si.assigned);
+            ++stats_.requeuedNodes;
+        }
+        si.assigned.reset();
+        if (cfg_.logInterval > 0) {
+            std::printf("[LC %8.3fs] rank %d declared dead (silent %.3fs); "
+                        "requeued %lld node(s)\n",
+                        now, r, now - si.lastHeard, stats_.requeuedNodes);
+            std::fflush(stdout);
+        }
+    }
+    if (!anyDied) return;
+
+    if (stopping_) {
+        if (activeCount() == 0) terminateAll();
+        return;
+    }
+    if (racingPhase_) {
+        maybeFinishRacing();
+    } else {
+        assignNodes();
+        updateCollectMode();
+    }
+    checkDone();
+    if (!done_ && aliveCount() == 0) {
+        // Every solver failed with work outstanding: nobody is left to
+        // process the pool, so report failure instead of spinning.
+        finalStatus_ = UgStatus::Failed;
+        finalDualBound_ = globalDualBound();
+        terminateAll();
+    }
+}
+
 void LoadCoordinator::onTimer(double now) {
     if (done_) return;
     if (cfg_.logInterval > 0 && now >= nextLog_) {
@@ -370,6 +482,8 @@ void LoadCoordinator::onTimer(double now) {
     if (racingPhase_ && !racingWinnerPicked_ &&
         now - racingStart_ >= cfg_.racingTimeLimit)
         pickRacingWinner();
+    checkHeartbeats(now);
+    if (done_) return;  // the failure detector may have terminated the run
     if (cfg_.checkpointInterval > 0 && !cfg_.checkpointFile.empty() &&
         now >= nextCheckpoint_) {
         saveCheckpoint();
@@ -398,11 +512,28 @@ double LoadCoordinator::globalDualBound() const {
 void LoadCoordinator::saveCheckpoint() const {
     Checkpoint cp;
     cp.nodes = pool_;
-    for (int r = 1; r <= cfg_.numSolvers; ++r) {
-        if (info_[r].active && info_[r].assigned) {
-            cip::SubproblemDesc d = *info_[r].assigned;
-            d.lowerBound = std::max(d.lowerBound, info_[r].dualBound);
+    if (racingPhase_) {
+        // Racing: every racer holds the *same* root as its assigned node.
+        // Writing one copy per racer would make a restart distribute N
+        // duplicate roots and re-solve the instance N times — save exactly
+        // one, with the best dual bound any racer has proven for it (each
+        // racer solves the full root problem, so each reported bound is a
+        // valid bound for it). Nothing to save if a racer already solved
+        // the instance outright.
+        if (!instanceSolvedInRacing_) {
+            cip::SubproblemDesc d = rootDesc_;
+            for (int r = 1; r <= cfg_.numSolvers; ++r)
+                if (info_[r].active && info_[r].dualBound > -cip::kInf)
+                    d.lowerBound = std::max(d.lowerBound, info_[r].dualBound);
             cp.nodes.push_back(std::move(d));
+        }
+    } else {
+        for (int r = 1; r <= cfg_.numSolvers; ++r) {
+            if (info_[r].active && info_[r].assigned) {
+                cip::SubproblemDesc d = *info_[r].assigned;
+                d.lowerBound = std::max(d.lowerBound, info_[r].dualBound);
+                cp.nodes.push_back(std::move(d));
+            }
         }
     }
     cp.incumbent = best_;

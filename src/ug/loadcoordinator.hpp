@@ -7,6 +7,15 @@
 // subtree roots it owns — pool nodes plus currently assigned subproblem
 // roots — are saved, matching the paper's restart semantics where run 1
 // ends with 271,781 open nodes but run 2 restarts from just 18).
+//
+// Fault tolerance (src/ug/README.md documents the protocol invariants): a
+// heartbeat failure detector declares a silent active rank dead after
+// cfg.heartbeatTimeout, requeues its assigned root into the pool — the
+// generalization of the "unexpected incomplete termination" path — and
+// excludes the rank from future scheduling; message handling is defensive,
+// so duplicated or stale traffic (a second Terminated from the same rank, a
+// NodeTransfer from a rank already declared dead) cannot corrupt the active
+// count, the statistics, or the done-detection invariant.
 #pragma once
 
 #include <optional>
@@ -46,7 +55,9 @@ private:
     struct SolverInfo {
         bool active = false;
         bool collecting = false;
+        bool dead = false;  ///< declared failed; excluded from scheduling
         double dualBound = -cip::kInf;
+        double lastHeard = 0.0;  ///< engine time of the last message from it
         long long openNodes = 0;
         long long nodesProcessed = 0;  ///< last reported (running subproblem)
         long long busyUnits = 0;
@@ -57,12 +68,23 @@ private:
     void assignNodes();
     void updateCollectMode();
     void pickRacingWinner();
+    /// Adopt `sol` if it improves the incumbent: prune the pool against the
+    /// new cutoff and broadcast. Returns true if adopted.
+    bool adoptSolution(const cip::Solution& sol);
     void broadcastSolution();
+    /// Racing epilogue shared by Terminated handling and failure detection:
+    /// once the last racer is gone, leave the racing phase and fall back to
+    /// the root if the winner delivered nothing.
+    void maybeFinishRacing();
+    /// Failure detector: declare silent-but-active ranks dead, requeue their
+    /// assigned roots, and exclude them from all future scheduling.
+    void checkHeartbeats(double now);
     void checkDone();
     void terminateAll();
     void saveCheckpoint() const;
     bool loadCheckpoint();
     int activeCount() const;
+    int aliveCount() const;  ///< ranks not declared dead
     void noteActivity();
 
     ParaComm& comm_;

@@ -27,7 +27,10 @@ enum class Tag {
 
     // Worker -> Supervisor
     SolutionFound,    ///< new incumbent discovered
-    Status,           ///< periodic bound / open-node report
+    Status,           ///< periodic bound / open-node report; doubles as the
+                      ///< liveness heartbeat (any worker message refreshes
+                      ///< the LoadCoordinator's failure detector, Status is
+                      ///< simply the one guaranteed to flow periodically)
     NodeTransfer,     ///< one extracted open subproblem (collect mode)
     Terminated,       ///< current subproblem finished (or racing stopped)
     RacingFinished,   ///< racing solver solved the instance outright
@@ -43,7 +46,10 @@ struct Message {
     int src = -1;
 
     cip::SubproblemDesc desc;  ///< Subproblem / NodeTransfer / RacingSubproblem
-    cip::Solution sol;         ///< SolutionFound / SolutionPush / Subproblem
+    cip::Solution sol;         ///< SolutionFound / SolutionPush / Subproblem /
+                               ///< Terminated (the worker's best known
+                               ///< incumbent rides along so a lost
+                               ///< SolutionFound cannot lose the optimum)
     double dualBound = -cip::kInf;   ///< Status / Terminated
     std::int64_t openNodes = 0;      ///< Status
     std::int64_t nodesProcessed = 0; ///< Status / Terminated

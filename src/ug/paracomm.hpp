@@ -8,6 +8,8 @@
 // against this interface only, which is exactly UG's portability claim.
 #pragma once
 
+#include <utility>
+
 #include "ug/message.hpp"
 
 namespace ug {
@@ -21,6 +23,17 @@ public:
 
     /// Enqueue a message from `src` to `dest`. Never blocks.
     virtual void send(int src, int dest, Message msg) = 0;
+
+    /// Enqueue a message that becomes visible to `dest` only after an extra
+    /// `delaySeconds` of engine time (on top of the engine's base latency).
+    /// Used by the fault-injection layer to model slow or reordered links;
+    /// the default ignores the delay, which is always correct (delivery is
+    /// merely earlier than requested).
+    virtual void sendDelayed(int src, int dest, Message msg,
+                             double delaySeconds) {
+        (void)delaySeconds;
+        send(src, dest, std::move(msg));
+    }
 
     /// Engine time as observed by `rank` (wall seconds for ThreadComm,
     /// virtual seconds for SimComm).

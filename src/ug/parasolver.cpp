@@ -41,6 +41,12 @@ bool ParaSolver::hasWork() const {
 }
 
 void ParaSolver::startSubproblem(const Message& m, bool racing) {
+    if (active_ || terminated_) {
+        // Duplicated (or badly delayed) assignment: the coordinator never
+        // legitimately assigns to a busy rank, so starting over would throw
+        // away the in-flight subproblem without reporting it. Ignore.
+        return;
+    }
     cip::ParamSet params = cfg_.baseParams;
     if (racing) params.merge(m.params);
     solver_ = factory_.create(params);
@@ -83,11 +89,19 @@ void ParaSolver::finishSubproblem(BaseStatus status) {
     out.settingId = settingId_;
     out.completed =
         status == BaseStatus::Optimal || status == BaseStatus::Infeasible;
-    if (racing_ && solver_ && solver_->incumbent().valid())
-        out.sol = solver_->incumbent();
+    // Always attach the best known incumbent: if an earlier SolutionFound
+    // was lost in transit, the final report re-delivers the certificate
+    // (echoing the coordinator's own broadcast back is harmless — adoption
+    // requires strict improvement).
+    cip::Solution report = bestKnown_;
+    if (solver_ && solver_->incumbent().valid() &&
+        (!report.valid() || solver_->incumbent().obj < report.obj))
+        report = solver_->incumbent();
+    if (report.valid()) out.sol = std::move(report);
     comm_.send(rank_, 0, out);
     active_ = false;
     racing_ = false;
+    collectMode_ = false;  // the coordinator resets its flag on Terminated
     solver_.reset();
 }
 
@@ -123,14 +137,21 @@ void ParaSolver::handleMessage(const Message& m) {
             break;
         case Tag::RacingStop:
             // Lost the race: the tree is discarded; solutions were already
-            // reported through SolutionFound messages.
-            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            // reported through SolutionFound messages. Only meaningful while
+            // actually racing — a stale/duplicated copy arriving during a
+            // later normal subproblem must not kill it.
+            if (active_ && racing_) finishSubproblem(BaseStatus::Interrupted);
             break;
         case Tag::CollectAll:
             // Racing winner: hand the entire frontier to the coordinator,
-            // then become an ordinary idle worker.
-            drainAllOpenNodes();
-            if (active_) finishSubproblem(BaseStatus::Interrupted);
+            // then become an ordinary idle worker. Same staleness guard as
+            // RacingStop: draining a *normal* subproblem's frontier and
+            // self-terminating would force the coordinator down the requeue
+            // path for no reason.
+            if (active_ && racing_) {
+                drainAllOpenNodes();
+                finishSubproblem(BaseStatus::Interrupted);
+            }
             break;
         case Tag::StartCollecting:
             collectMode_ = true;

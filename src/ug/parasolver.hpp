@@ -5,6 +5,12 @@
 // ParaComm::send. One fresh BaseSolver instance is created per received
 // subproblem, which is what re-runs presolving on each subproblem (layered
 // presolving).
+//
+// Message handling is idempotent/defensive (see src/ug/README.md): a
+// duplicated assignment while busy is ignored, racing control messages
+// (RacingStop/CollectAll) only apply while actually racing, and every
+// Terminated report carries the worker's best known incumbent so a lost
+// SolutionFound cannot lose the optimum.
 #pragma once
 
 #include <cstdint>

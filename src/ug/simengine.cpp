@@ -11,7 +11,13 @@ SimEngine::~SimEngine() = default;
 
 void SimEngine::send(int src, int dest, Message msg) {
     msg.src = src;
-    outbox_.emplace_back(dest, std::move(msg));
+    outbox_.push_back(Pending{dest, std::move(msg), 0.0});
+}
+
+void SimEngine::sendDelayed(int src, int dest, Message msg,
+                            double delaySeconds) {
+    msg.src = src;
+    outbox_.push_back(Pending{dest, std::move(msg), delaySeconds});
 }
 
 double SimEngine::now(int rank) const {
@@ -20,16 +26,18 @@ double SimEngine::now(int rank) const {
 }
 
 void SimEngine::flushOutbox(double sendTime) {
-    for (auto& [dest, msg] : outbox_) {
-        events_.push(Event{sendTime + cfg_.msgLatency, seq_++,
-                           EventKind::MsgArrival, dest, std::move(msg)});
+    for (auto& p : outbox_) {
+        events_.push(Event{sendTime + cfg_.msgLatency + p.extraDelay, seq_++,
+                           EventKind::MsgArrival, p.dest, std::move(p.msg)});
     }
     outbox_.clear();
 }
 
 void SimEngine::attend(int rank, double time) {
     // Give rank `rank` attention at event time `time`: deliver due messages
-    // and let it work one step.
+    // and let it work one step. A crashed rank is never attended again (its
+    // queued events and inbox simply rot).
+    if (faulty_ && faulty_->killed(rank)) return;
     ParaSolver& ps = *solvers_[rank];
     double eff = std::max(vclock_[rank], time);
 
@@ -68,7 +76,12 @@ void SimEngine::attend(int rank, double time) {
 
 UgResult SimEngine::run(const cip::SubproblemDesc& root) {
     const int n = cfg_.numSolvers;
-    lc_ = std::make_unique<LoadCoordinator>(*this, cfg_);
+    faulty_.reset();
+    if (cfg_.faults.active())
+        faulty_ = std::make_unique<FaultyComm>(*this, cfg_.faults);
+    ParaComm& comm = faulty_ ? static_cast<ParaComm&>(*faulty_)
+                             : static_cast<ParaComm&>(*this);
+    lc_ = std::make_unique<LoadCoordinator>(comm, cfg_);
     solvers_.clear();
     solvers_.resize(n + 1);
     inbox_.assign(n + 1, {});
@@ -77,7 +90,7 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
     lcTime_ = 0.0;
     running_ = true;
     for (int r = 1; r <= n; ++r)
-        solvers_[r] = std::make_unique<ParaSolver>(r, *this, factory_, cfg_);
+        solvers_[r] = std::make_unique<ParaSolver>(r, comm, factory_, cfg_);
 
     lc_->start(root);
     flushOutbox(0.0);
@@ -89,7 +102,14 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
                            Message{}});
     if (cfg_.checkpointInterval > 0)
         events_.push(Event{cfg_.checkpointInterval, seq_++, EventKind::Timer,
-                           0, Message{}});
+                           0, Message{}, TimerKind::Checkpoint});
+    // The failure detector needs the flow of virtual time even when no
+    // messages flow (e.g. the only busy rank just crashed): poll at half the
+    // timeout so a death is declared within 1.5x the configured silence.
+    const double hbPeriod = cfg_.heartbeatTimeout / 2.0;
+    if (cfg_.heartbeatTimeout > 0)
+        events_.push(Event{hbPeriod, seq_++, EventKind::Timer, 0, Message{},
+                           TimerKind::Heartbeat});
 
     while (!events_.empty() && !lc_->done()) {
         Event ev = events_.top();
@@ -97,12 +117,18 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
         if (ev.kind == EventKind::Timer) {
             lcTime_ = std::max(lcTime_, ev.time);
             lc_->onTimer(ev.time);
-            flushOutbox(ev.time);
-            if (cfg_.checkpointInterval > 0 && ev.rank == 0 &&
-                !lc_->done()) {
-                // Re-arm the periodic checkpoint timer.
-                events_.push(Event{ev.time + cfg_.checkpointInterval, seq_++,
-                                   EventKind::Timer, 0, Message{}});
+            flushOutbox(lcTime_);
+            if (!lc_->done()) {
+                // Recurring coordinator timers re-arm by kind (one-shot
+                // racing/time-limit events must not re-arm anything).
+                if (ev.timer == TimerKind::Checkpoint)
+                    events_.push(Event{ev.time + cfg_.checkpointInterval,
+                                       seq_++, EventKind::Timer, 0, Message{},
+                                       TimerKind::Checkpoint});
+                else if (ev.timer == TimerKind::Heartbeat)
+                    events_.push(Event{ev.time + hbPeriod, seq_++,
+                                       EventKind::Timer, 0, Message{},
+                                       TimerKind::Heartbeat});
             }
             continue;
         }
@@ -132,6 +158,14 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
     for (int r = 1; r <= n; ++r) busySum += busy_[r];
     const double total = endTime * n;
     res.stats.idleRatio = total > 0 ? std::max(0.0, 1.0 - busySum / total) : 0.0;
+    if (faulty_) {
+        const FaultyComm::Counters c = faulty_->counters();
+        res.stats.msgsDropped = c.dropped;
+        res.stats.msgsDelayed = c.delayed;
+        res.stats.msgsDuplicated = c.duplicated;
+        res.stats.msgsReordered = c.reordered;
+        res.stats.msgsSwallowedDead = c.swallowedDead;
+    }
     // Drain leftover events for reuse safety.
     while (!events_.empty()) events_.pop();
     outbox_.clear();

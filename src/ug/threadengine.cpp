@@ -20,7 +20,18 @@ void ThreadEngine::send(int src, int dest, Message msg) {
     Mailbox& box = *boxes_[dest];
     {
         std::lock_guard lock(box.mutex);
-        box.queue.push_back(std::move(msg));
+        box.queue.push_back(Entry{0.0, std::move(msg)});
+    }
+    box.cv.notify_one();
+}
+
+void ThreadEngine::sendDelayed(int src, int dest, Message msg,
+                               double delaySeconds) {
+    msg.src = src;
+    Mailbox& box = *boxes_[dest];
+    {
+        std::lock_guard lock(box.mutex);
+        box.queue.push_back(Entry{now(src) + delaySeconds, std::move(msg)});
     }
     box.cv.notify_one();
 }
@@ -30,22 +41,42 @@ double ThreadEngine::now(int) const {
         .count();
 }
 
+bool ThreadEngine::tryReceive(Mailbox& box, Message& out) {
+    const double t = now(0);
+    std::lock_guard lock(box.mutex);
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->readyAt <= t) {
+            out = std::move(it->msg);
+            box.queue.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadEngine::clearMailboxes() {
+    // run() reentrancy: leftovers of a previous run (a late Terminated that
+    // raced past done-detection, a still-delayed fault-injected message)
+    // must not be delivered into a fresh LoadCoordinator/ParaSolver set.
+    for (auto& b : boxes_) {
+        std::lock_guard lock(b->mutex);
+        b->queue.clear();
+    }
+}
+
 void ThreadEngine::solverLoop(int rank) {
     ParaSolver& ps = *solvers_[rank];
     Mailbox& box = *boxes_[rank];
     while (!ps.terminated()) {
-        // Drain pending messages.
+        if (faulty_ && faulty_->killed(rank)) break;  // crashed: stop dead
+        // Drain pending (ready) messages.
         for (;;) {
             Message m;
-            {
-                std::lock_guard lock(box.mutex);
-                if (box.queue.empty()) break;
-                m = std::move(box.queue.front());
-                box.queue.pop_front();
-            }
+            if (!tryReceive(box, m)) break;
             ps.handleMessage(m);
-            if (ps.terminated()) return;
+            if (ps.terminated()) break;
         }
+        if (ps.terminated()) break;
         if (ps.hasWork()) {
             const double t = now(rank);
             ps.work();
@@ -56,17 +87,25 @@ void ThreadEngine::solverLoop(int rank) {
                             [&] { return !box.queue.empty(); });
         }
     }
+    exitWall_[rank] = now(rank);
 }
 
 UgResult ThreadEngine::run(const cip::SubproblemDesc& root) {
     const int n = cfg_.numSolvers;
     t0_ = std::chrono::steady_clock::now();
-    lc_ = std::make_unique<LoadCoordinator>(*this, cfg_);
+    clearMailboxes();
+    faulty_.reset();
+    if (cfg_.faults.active())
+        faulty_ = std::make_unique<FaultyComm>(*this, cfg_.faults);
+    ParaComm& comm = faulty_ ? static_cast<ParaComm&>(*faulty_)
+                             : static_cast<ParaComm&>(*this);
+    lc_ = std::make_unique<LoadCoordinator>(comm, cfg_);
     solvers_.clear();
     solvers_.resize(n + 1);
     busyWall_.assign(n + 1, 0.0);
+    exitWall_.assign(n + 1, 0.0);
     for (int r = 1; r <= n; ++r)
-        solvers_[r] = std::make_unique<ParaSolver>(r, *this, factory_, cfg_);
+        solvers_[r] = std::make_unique<ParaSolver>(r, comm, factory_, cfg_);
     threads_.clear();
     for (int r = 1; r <= n; ++r)
         threads_.emplace_back([this, r] { solverLoop(r); });
@@ -75,16 +114,13 @@ UgResult ThreadEngine::run(const cip::SubproblemDesc& root) {
     Mailbox& box = *boxes_[0];
     while (!lc_->done()) {
         Message m;
-        bool got = false;
-        {
+        bool got = tryReceive(box, m);
+        if (!got) {
             std::unique_lock lock(box.mutex);
             box.cv.wait_for(lock, std::chrono::milliseconds(2),
                             [&] { return !box.queue.empty(); });
-            if (!box.queue.empty()) {
-                m = std::move(box.queue.front());
-                box.queue.pop_front();
-                got = true;
-            }
+            lock.unlock();
+            got = tryReceive(box, m);
         }
         if (got) lc_->handleMessage(m);
         lc_->onTimer(now(0));
@@ -96,10 +132,25 @@ UgResult ThreadEngine::run(const cip::SubproblemDesc& root) {
 
     const double endTime = now(0);
     UgResult res = lc_->result(endTime);
-    double busySum = 0.0;
-    for (int r = 1; r <= n; ++r) busySum += busyWall_[r];
-    const double total = endTime * n;
-    res.stats.idleRatio = total > 0 ? std::max(0.0, 1.0 - busySum / total) : 0.0;
+    // Idle ratio over each solver thread's actual lifetime: threads keep
+    // running (and would keep accruing wall time) briefly after the
+    // coordinator is done, so the denominator uses the per-thread loop-exit
+    // timestamps, not endTime * n.
+    double busySum = 0.0, total = 0.0;
+    for (int r = 1; r <= n; ++r) {
+        busySum += busyWall_[r];
+        total += exitWall_[r] > 0.0 ? exitWall_[r] : endTime;
+    }
+    res.stats.idleRatio =
+        total > 0 ? std::clamp(1.0 - busySum / total, 0.0, 1.0) : 0.0;
+    if (faulty_) {
+        const FaultyComm::Counters c = faulty_->counters();
+        res.stats.msgsDropped = c.dropped;
+        res.stats.msgsDelayed = c.delayed;
+        res.stats.msgsDuplicated = c.duplicated;
+        res.stats.msgsReordered = c.reordered;
+        res.stats.msgsSwallowedDead = c.swallowedDead;
+    }
     return res;
 }
 

@@ -5,6 +5,11 @@
 // confined to the mailboxes; ParaSolver/LoadCoordinator objects are only
 // ever touched by their owning thread, which is the MPI discipline that
 // makes the same logic portable to distributed memory.
+//
+// run() is reentrant: each invocation drains every mailbox first, so
+// messages left over from a previous (e.g. timed-out) run cannot leak into
+// the next one. When cfg.faults is active, all traffic is routed through a
+// FaultyComm decorator and a crashed rank's thread exits early.
 #pragma once
 
 #include <chrono>
@@ -17,6 +22,7 @@
 
 #include "ug/basesolver.hpp"
 #include "ug/config.hpp"
+#include "ug/faultycomm.hpp"
 #include "ug/loadcoordinator.hpp"
 #include "ug/paracomm.hpp"
 #include "ug/parasolver.hpp"
@@ -30,27 +36,46 @@ public:
 
     UgResult run(const cip::SubproblemDesc& root = {});
 
+    /// Mutable run configuration — lets a harness retune (time limit,
+    /// faults, ...) between back-to-back run() calls on the same engine.
+    UgConfig& config() { return cfg_; }
+
+    /// The fault layer of the current/last run (null when no plan active).
+    const FaultyComm* faultyComm() const { return faulty_.get(); }
+
     // ParaComm
     int size() const override { return cfg_.numSolvers + 1; }
     void send(int src, int dest, Message msg) override;
+    void sendDelayed(int src, int dest, Message msg,
+                     double delaySeconds) override;
     double now(int rank) const override;
 
 private:
+    /// A mailbox entry only becomes visible once wall time reaches readyAt
+    /// (0 for normal traffic; the fault layer uses sendDelayed).
+    struct Entry {
+        double readyAt = 0.0;
+        Message msg;
+    };
     struct Mailbox {
         std::mutex mutex;
         std::condition_variable cv;
-        std::deque<Message> queue;
+        std::deque<Entry> queue;
     };
 
+    bool tryReceive(Mailbox& box, Message& out);
     void solverLoop(int rank);
+    void clearMailboxes();
 
     BaseSolverFactory& factory_;
     UgConfig cfg_;
     std::vector<std::unique_ptr<Mailbox>> boxes_;
+    std::unique_ptr<FaultyComm> faulty_;
     std::unique_ptr<LoadCoordinator> lc_;
     std::vector<std::unique_ptr<ParaSolver>> solvers_;
     std::vector<std::thread> threads_;
     std::vector<double> busyWall_;
+    std::vector<double> exitWall_;  ///< per-thread solver-loop exit times
     std::chrono::steady_clock::time_point t0_;
 };
 

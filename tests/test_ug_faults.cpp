@@ -1,0 +1,301 @@
+// Fault-tolerance tests of the Supervisor-Worker protocol: every fault
+// class FaultyComm can inject (drop, delay, duplicate, reorder, kill, hang)
+// must leave the optimum unchanged, on generic CIP instances as well as on
+// the Steiner and MISDP example instances. The SimEngine runs are exactly
+// reproducible for a fixed FaultPlan seed, so these are deterministic
+// regression tests of the recovery paths (heartbeat death declaration,
+// requeue-on-failure, idempotent message handling), not flaky chaos tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "misdp/instances.hpp"
+#include "misdp/solver.hpp"
+#include "steiner/exactdp.hpp"
+#include "steiner/instances.hpp"
+#include "steiner/stpsolver.hpp"
+#include "ugcip/misdp_plugins.hpp"
+#include "ugcip/stp_plugins.hpp"
+#include "ugcip/ugcip.hpp"
+
+using cip::kInf;
+using cip::Model;
+using cip::Row;
+
+namespace {
+
+/// Same weakly-correlated knapsack family as test_ug.cpp: decent tree size,
+/// known-good via the sequential solver.
+Model hardKnapsack(int n, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> w(10, 30);
+    Model m;
+    std::vector<std::pair<int, double>> coefs;
+    double total = 0;
+    for (int j = 0; j < n; ++j) {
+        const double weight = w(rng);
+        m.addVar(-(weight + (j % 3)), 0.0, 1.0, true);
+        coefs.emplace_back(j, weight);
+        total += weight;
+    }
+    m.addLinear(Row(std::move(coefs), -kInf, std::floor(total / 2)));
+    return m;
+}
+
+double sequentialOptimum(const Model& m) {
+    cip::Solver s;
+    Model copy = m;
+    s.setModel(std::move(copy));
+    EXPECT_EQ(s.solve(), cip::Status::Optimal);
+    return s.incumbent().obj;
+}
+
+/// The fault classes under test. Each returns a plan with a fixed seed;
+/// `heartbeat` says whether the class needs the failure detector for
+/// guaranteed termination (drop and kill do; the others are loss-free).
+struct FaultCase {
+    const char* name;
+    ug::FaultPlan plan;
+    bool needsHeartbeat;
+};
+
+std::vector<FaultCase> faultCases() {
+    std::vector<FaultCase> cases;
+    {
+        ug::FaultPlan p;
+        p.dropProb = 0.08;
+        cases.push_back({"drop", p, true});
+    }
+    {
+        ug::FaultPlan p;
+        p.delayProb = 0.30;
+        p.delaySeconds = 0.004;
+        cases.push_back({"delay", p, false});
+    }
+    {
+        ug::FaultPlan p;
+        p.duplicateProb = 0.30;
+        cases.push_back({"duplicate", p, false});
+    }
+    {
+        ug::FaultPlan p;
+        p.reorderProb = 0.30;
+        p.reorderWindow = 0.004;
+        cases.push_back({"reorder", p, false});
+    }
+    {
+        ug::FaultPlan p;
+        p.killRank = 2;
+        p.killAfterSends = 6;  // mid-subproblem: a few Status reports in
+        cases.push_back({"kill", p, true});
+    }
+    {
+        ug::FaultPlan p;
+        p.killRank = 2;
+        p.killAfterSends = 6;
+        p.hang = true;
+        cases.push_back({"hang", p, true});
+    }
+    return cases;
+}
+
+long long faultsFired(const ug::UgStats& s) {
+    return s.msgsDropped + s.msgsDelayed + s.msgsDuplicated +
+           s.msgsReordered + s.msgsSwallowedDead;
+}
+
+}  // namespace
+
+TEST(UgFaults, EveryFaultClassPreservesKnapsackOptimum) {
+    Model m = hardKnapsack(14, 42);
+    const double opt = sequentialOptimum(m);
+
+    ug::UgConfig base;
+    base.numSolvers = 4;
+    ug::UgResult clean = ugcip::solveSimulated([&] { return m; }, base);
+    ASSERT_EQ(clean.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(clean.best.obj, opt, 1e-6);
+
+    for (const FaultCase& fc : faultCases()) {
+        ug::UgConfig cfg = base;
+        cfg.faults = fc.plan;
+        if (fc.needsHeartbeat) cfg.heartbeatTimeout = 0.05;
+        ug::UgResult res = ugcip::solveSimulated([&] { return m; }, cfg);
+        ASSERT_EQ(res.status, ug::UgStatus::Optimal) << fc.name;
+        EXPECT_NEAR(res.best.obj, opt, 1e-6) << fc.name;
+        EXPECT_GT(faultsFired(res.stats), 0)
+            << fc.name << ": plan injected nothing — test is vacuous";
+    }
+}
+
+TEST(UgFaults, KilledRankSubproblemIsRequeuedAndExcluded) {
+    Model m = hardKnapsack(16, 7);
+    const double opt = sequentialOptimum(m);
+
+    ug::UgConfig cfg;
+    cfg.numSolvers = 4;
+    cfg.heartbeatTimeout = 0.05;
+    cfg.faults.killRank = 2;
+    cfg.faults.killAfterSends = 6;
+    ug::UgResult res = ugcip::solveSimulated([&] { return m; }, cfg);
+    ASSERT_EQ(res.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(res.best.obj, opt, 1e-6);
+    // The victim was declared dead and its assigned root provably requeued,
+    // then re-assigned (transferredNodes counts every assignment).
+    EXPECT_EQ(res.stats.deadSolvers, 1);
+    EXPECT_GE(res.stats.requeuedNodes, 1);
+    EXPECT_GT(res.stats.transferredNodes, res.stats.requeuedNodes);
+    EXPECT_GT(res.stats.msgsSwallowedDead, 0);
+}
+
+TEST(UgFaults, HungRankIsDeclaredDeadToo) {
+    // A hang differs from a crash: the rank keeps computing and receiving
+    // but its reports never arrive. From the coordinator's perspective it
+    // must be indistinguishable from a crash — silence, then recovery.
+    Model m = hardKnapsack(14, 11);
+    const double opt = sequentialOptimum(m);
+
+    ug::UgConfig cfg;
+    cfg.numSolvers = 3;
+    cfg.heartbeatTimeout = 0.05;
+    cfg.faults.killRank = 1;  // rank 1 gets the root: guaranteed mid-work
+    cfg.faults.killAfterSends = 4;
+    cfg.faults.hang = true;
+    ug::UgResult res = ugcip::solveSimulated([&] { return m; }, cfg);
+    ASSERT_EQ(res.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(res.best.obj, opt, 1e-6);
+    EXPECT_EQ(res.stats.deadSolvers, 1);
+    EXPECT_GE(res.stats.requeuedNodes, 1);
+}
+
+TEST(UgFaults, KillDuringRacingFallsBackToRoot) {
+    Model m = hardKnapsack(15, 3);
+    const double opt = sequentialOptimum(m);
+
+    ug::UgConfig cfg;
+    cfg.numSolvers = 4;
+    cfg.rampUp = ug::RampUp::Racing;
+    cfg.racingOpenNodesLimit = 5;
+    cfg.racingTimeLimit = 0.5;
+    cfg.heartbeatTimeout = 0.05;
+    cfg.faults.killRank = 1;
+    cfg.faults.killAfterSends = 2;  // dies while every racer holds the root
+    ug::UgResult res = ugcip::solveSimulated([&] { return m; }, cfg);
+    ASSERT_EQ(res.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(res.best.obj, opt, 1e-6);
+    EXPECT_EQ(res.stats.deadSolvers, 1);
+}
+
+TEST(UgFaults, FaultScheduleIsDeterministicForFixedSeed) {
+    Model m = hardKnapsack(14, 42);
+    ug::UgResult runs[2];
+    for (int i = 0; i < 2; ++i) {
+        ug::UgConfig cfg;
+        cfg.numSolvers = 4;
+        cfg.heartbeatTimeout = 0.05;
+        cfg.faults.dropProb = 0.05;
+        cfg.faults.delayProb = 0.2;
+        cfg.faults.duplicateProb = 0.2;
+        cfg.faults.seed = 777;
+        runs[i] = ugcip::solveSimulated([&] { return m; }, cfg);
+    }
+    EXPECT_DOUBLE_EQ(runs[0].elapsed, runs[1].elapsed);
+    EXPECT_DOUBLE_EQ(runs[0].best.obj, runs[1].best.obj);
+    EXPECT_EQ(runs[0].stats.totalNodesProcessed,
+              runs[1].stats.totalNodesProcessed);
+    EXPECT_EQ(runs[0].stats.msgsDropped, runs[1].stats.msgsDropped);
+    EXPECT_EQ(runs[0].stats.msgsDelayed, runs[1].stats.msgsDelayed);
+    EXPECT_EQ(runs[0].stats.msgsDuplicated, runs[1].stats.msgsDuplicated);
+    EXPECT_EQ(runs[0].stats.ignoredMessages, runs[1].stats.ignoredMessages);
+}
+
+TEST(UgFaults, SteinerInstanceSurvivesEveryFaultClass) {
+    steiner::Graph g = steiner::genHypercube(4, true, 3);
+    auto opt = steiner::steinerDpOptimal(g);
+    ASSERT_TRUE(opt.has_value());
+    steiner::SteinerSolver seq(g);
+    seq.presolve();
+    ASSERT_FALSE(seq.instance().trivial());
+
+    for (const FaultCase& fc : faultCases()) {
+        ug::UgConfig cfg;
+        cfg.numSolvers = 4;
+        cfg.faults = fc.plan;
+        if (fc.needsHeartbeat) cfg.heartbeatTimeout = 0.05;
+        ug::UgResult res = ugcip::solveSteinerParallel(seq.instance(), cfg,
+                                                       /*simulated=*/true);
+        ASSERT_EQ(res.status, ug::UgStatus::Optimal) << fc.name;
+        steiner::SteinerResult sr = ugcip::toSteinerResult(seq, res);
+        EXPECT_NEAR(sr.cost, *opt, 1e-6) << fc.name;
+        EXPECT_TRUE(g.spansTerminals(sr.originalEdges)) << fc.name;
+    }
+}
+
+TEST(UgFaults, MisdpInstanceSurvivesEveryFaultClass) {
+    misdp::MisdpProblem p = misdp::genCardinalityLS(3, 4, 2, 9);
+    misdp::MisdpSolver seq(p);
+    misdp::MisdpResult sr = seq.solve();
+    ASSERT_EQ(sr.status, cip::Status::Optimal);
+
+    for (const FaultCase& fc : faultCases()) {
+        ug::UgConfig cfg;
+        cfg.numSolvers = 4;
+        cfg.faults = fc.plan;
+        if (fc.needsHeartbeat) cfg.heartbeatTimeout = 0.05;
+        ug::UgResult res =
+            ugcip::solveMisdpParallel(p, cfg, /*simulated=*/true);
+        ASSERT_EQ(res.status, ug::UgStatus::Optimal) << fc.name;
+        EXPECT_NEAR(-res.best.obj, sr.objective, 1e-4) << fc.name;
+    }
+}
+
+TEST(UgFaults, ThreadEngineRecoversFromKilledRank) {
+    // Wall-clock variant: the victim's thread stops dead mid-subproblem and
+    // the heartbeat path (not the deterministic event loop) must recover.
+    Model m = hardKnapsack(14, 42);
+    const double opt = sequentialOptimum(m);
+
+    ug::UgConfig cfg;
+    cfg.numSolvers = 3;
+    cfg.heartbeatTimeout = 0.15;  // wall seconds >> one B&B step
+    cfg.faults.killRank = 1;      // root solver: guaranteed to be busy
+    cfg.faults.killAfterSends = 4;
+    ug::UgResult res = ugcip::solveWithThreads([&] { return m; }, cfg);
+    ASSERT_EQ(res.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(res.best.obj, opt, 1e-6);
+    EXPECT_EQ(res.stats.deadSolvers, 1);
+    EXPECT_GE(res.stats.requeuedNodes, 1);
+    EXPECT_GE(res.stats.idleRatio, 0.0);
+    EXPECT_LE(res.stats.idleRatio, 1.0);
+}
+
+TEST(UgFaults, ThreadEngineBackToBackRunsAreIsolated) {
+    // Reentrancy regression: run 1 is cut off by a time limit under message
+    // faults (leaving delayed/duplicated traffic in the mailboxes); run 2 on
+    // the SAME engine must start from a clean slate and solve to optimality.
+    Model m = hardKnapsack(22, 17);
+    const double opt = sequentialOptimum(m);
+
+    ugcip::CipSolverFactory factory([&] { return m; });
+    ug::UgConfig cfg;
+    cfg.numSolvers = 3;
+    cfg.timeLimit = 0.002;  // wall seconds: cuts the first run short
+    cfg.faults.delayProb = 0.3;
+    cfg.faults.delaySeconds = 0.01;
+    cfg.faults.duplicateProb = 0.3;
+    ug::ThreadEngine engine(factory, cfg);
+
+    ug::UgResult first = engine.run({});
+    ASSERT_TRUE(first.status == ug::UgStatus::TimeLimit ||
+                first.status == ug::UgStatus::Optimal);
+
+    engine.config().timeLimit = 1e18;
+    engine.config().faults = ug::FaultPlan{};
+    ug::UgResult second = engine.run({});
+    ASSERT_EQ(second.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(second.best.obj, opt, 1e-6);
+    EXPECT_GT(second.stats.totalNodesProcessed, 0);
+    EXPECT_GE(second.stats.idleRatio, 0.0);
+    EXPECT_LE(second.stats.idleRatio, 1.0);
+}

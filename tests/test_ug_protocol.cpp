@@ -5,6 +5,10 @@
 // transfer, incumbent broadcast, racing winner selection, and termination.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "ug/checkpoint.hpp"
 #include "ug/simengine.hpp"
 
 namespace {
@@ -201,6 +205,59 @@ TEST(UgProtocol, DeterministicTraceWithMockSolver) {
         EXPECT_EQ(a.stats.collectedNodes, b.stats.collectedNodes);
         EXPECT_EQ(a.stats.totalNodesProcessed, b.stats.totalNodesProcessed);
     }
+}
+
+TEST(UgProtocol, ForceStopDuringRacingCheckpointsOneRootAndRestarts) {
+    // Deterministic forceStop while racing is still running: the run must be
+    // cut off cleanly (racers interrupted, statistics complete) and the
+    // checkpoint must contain exactly ONE copy of the root — not one per
+    // racer, which is what the naive per-rank `assigned` walk used to write.
+    const std::string path = "/tmp/ugtest_racing_checkpoint.txt";
+    std::remove(path.c_str());
+
+    const std::int64_t stepCost = 10;
+    MockFactory factory(400, stepCost);
+    ug::UgConfig cfg;
+    cfg.numSolvers = 4;
+    cfg.rampUp = ug::RampUp::Racing;
+    // Identical settings are fine here (the mock treats them alike); without
+    // an explicit table the engine would skip racing altogether.
+    cfg.racingSettings.assign(4, cip::ParamSet{});
+    cfg.racingTimeLimit = 100.0;       // neither racing criterion trips...
+    cfg.racingOpenNodesLimit = 100000;
+    cfg.checkpointFile = path;
+    cfg.timeLimit = 0.05;  // ...before the virtual time limit forces a stop
+    ug::SimEngine engine(factory, cfg);
+    ug::UgResult res = engine.run({});
+    ASSERT_EQ(res.status, ug::UgStatus::TimeLimit);
+    // Racers were interrupted with their statistics folded in: the mock's
+    // work conservation means every processed node cost exactly stepCost.
+    EXPECT_GT(res.stats.totalNodesProcessed, 0);
+    EXPECT_EQ(res.stats.busyUnits, res.stats.totalNodesProcessed * stepCost);
+
+    // Mid-racing checkpoint: every racer holds the same root, so dedupe to
+    // one primitive node.
+    auto cp = ug::loadCheckpoint(path);
+    ASSERT_TRUE(cp.has_value());
+    ASSERT_EQ(cp->nodes.size(), 1u);
+    EXPECT_TRUE(cp->nodes[0].isRoot());
+    // The incumbent found during racing made it into the checkpoint.
+    ASSERT_TRUE(cp->incumbent.valid());
+    EXPECT_NEAR(cp->incumbent.obj, -50.0, 1e-12);
+
+    // Restarting from that checkpoint resumes from exactly one open node and
+    // runs the instance to completion.
+    MockFactory factory2(400, stepCost);
+    ug::UgConfig cfg2;
+    cfg2.numSolvers = 4;
+    cfg2.checkpointFile = path;
+    cfg2.restartFromCheckpoint = true;
+    ug::SimEngine engine2(factory2, cfg2);
+    ug::UgResult second = engine2.run({});
+    ASSERT_EQ(second.status, ug::UgStatus::Optimal);
+    EXPECT_NEAR(second.best.obj, -50.0, 1e-12);
+    EXPECT_EQ(second.stats.initialOpenNodes, 1);
+    std::remove(path.c_str());
 }
 
 TEST(UgProtocol, MoreSolversNeverIncreaseMakespanOnWideTree) {
