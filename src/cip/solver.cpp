@@ -140,6 +140,7 @@ void Solver::initSolve() {
     pendingCuts_.clear();
     managedRows_.clear();
     lpBuilt_ = false;
+    lpDualsFresh_ = false;
     incumbent_ = {};
     cutoff_ = kInf;
     stats_ = {};
@@ -221,6 +222,7 @@ void Solver::buildLp() {
     lpUb_ = curUb_;
     lpBuilt_ = true;
     lpSolutionValid_ = false;
+    lpDualsFresh_ = false;
 }
 
 lp::SolveStatus Solver::flushPendingCutsToLp() {
@@ -230,6 +232,7 @@ lp::SolveStatus Solver::flushPendingCutsToLp() {
     const lp::SolveStatus st = lp_.addRowsAndResolve(pendingCuts_);
     stats_.lpIterations += lp_.iterations() - before;
     pendingCost_ += lp_.iterations() - before;
+    lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     for (std::size_t k = 0; k < pendingCuts_.size(); ++k) {
         cutPool_.push_back(pendingCuts_[k]);
         cutLpIndex_.push_back(base + static_cast<int>(k));
@@ -242,7 +245,11 @@ lp::SolveStatus Solver::flushPendingCutsToLp() {
 void Solver::manageCutPool() {
     if (!lpBuilt_ || cutPool_.empty()) return;
     // Age cuts using the duals of the last optimal LP basis: a cut with a
-    // (near-)zero dual multiplier was not binding.
+    // (near-)zero dual multiplier was not binding. If the last (re)solve
+    // failed (NumericalTrouble, iteration limit, infeasible probe), the
+    // stored duals are stale garbage — skip aging entirely rather than let
+    // them drive cut deletion.
+    if (!lpDualsFresh_) return;
     const auto& duals = lp_.duals();
     for (std::size_t i = 0; i < cutPool_.size(); ++i) {
         const int idx = cutLpIndex_[i];
@@ -288,6 +295,7 @@ lp::SolveStatus Solver::solveLp() {
     const long before = lp_.iterations();
     lp::SolveStatus st = lpSolutionValid_ ? lp_.resolve() : lp_.solve();
     lpSolutionValid_ = true;
+    lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     const long used = lp_.iterations() - before;
     stats_.lpIterations += used;
     pendingCost_ += used + 1;
@@ -610,6 +618,87 @@ int Solver::pseudocostVar(const std::vector<double>& x) const {
     return best;
 }
 
+int Solver::strongBranchingVar(const std::vector<double>& x) {
+    if (!lpBuilt_ || !lpSolutionValid_) return -1;
+    const int maxCands = params_.getInt("branching/strong/maxcands", 8);
+    const long probeLimit = params_.getInt("branching/strong/iterlimit", 200);
+    // Candidates: fractional integer variables, most fractional first.
+    std::vector<std::pair<double, int>> cands;
+    for (int j = 0; j < model_.numVars(); ++j) {
+        if (!model_.var(j).isInt) continue;
+        const double f = x[j] - std::floor(x[j]);
+        if (f <= kIntTol || f >= 1.0 - kIntTol) continue;
+        cands.emplace_back(std::min(f, 1.0 - f), j);
+    }
+    if (cands.empty()) return -1;
+    std::sort(cands.rbegin(), cands.rend());
+    if (static_cast<int>(cands.size()) > maxCands) cands.resize(maxCands);
+
+    const lp::Basis preProbe = lp_.basis();
+    if (!preProbe.valid()) return -1;
+    const double baseObj = lpObj_;
+    const long savedLimit = lp_.iterLimit();
+    lp_.setIterLimit(probeLimit);
+
+    int best = -1;
+    double bestScore = -1.0;
+    for (const auto& [fracScore, j] : cands) {
+        (void)fracScore;
+        const double f = x[j] - std::floor(x[j]);
+        const double lb0 = lpLb_[j], ub0 = lpUb_[j];
+        auto probe = [&](bool up) {
+            if (up)
+                lp_.changeBounds(j, std::ceil(x[j]), ub0);
+            else
+                lp_.changeBounds(j, lb0, std::floor(x[j]));
+            const long before = lp_.iterations();
+            const lp::SolveStatus st = lp_.resolve();
+            const long used = lp_.iterations() - before;
+            stats_.lpIterations += used;
+            pendingCost_ += used + 1;
+            ++stats_.strongBranchProbes;
+            double gain = 0.0;
+            if (st == lp::SolveStatus::Infeasible)
+                gain = 1e12;  // that child would be pruned outright
+            else if (st == lp::SolveStatus::Optimal)
+                gain = std::max(
+                    0.0, lp_.objective() + model_.objOffset - baseObj);
+            // Undo the probe: restore the bounds and the pre-probe basis
+            // (one refactorization, zero pivots) instead of re-solving the
+            // node LP from wherever the probe ended.
+            lp_.changeBounds(j, lb0, ub0);
+            if (!lp_.loadBasis(preProbe)) lp_.resolve();
+            // Feed the observed per-unit gain into the pseudocosts.
+            if (st == lp::SolveStatus::Optimal) {
+                const double dist = up ? (1.0 - f) : f;
+                if (dist > 1e-9) {
+                    PseudoCost& pc = pseudo_[j];
+                    if (up) {
+                        pc.upSum += gain / dist;
+                        ++pc.upCount;
+                    } else {
+                        pc.downSum += gain / dist;
+                        ++pc.downCount;
+                    }
+                }
+            }
+            return gain;
+        };
+        const double down = probe(false);
+        const double upg = probe(true);
+        const double score = std::max(down, 1e-6) * std::max(upg, 1e-6);
+        if (score > bestScore) {
+            bestScore = score;
+            best = j;
+        }
+    }
+    lp_.setIterLimit(savedLimit);
+    // The LP holds the restored pre-probe basis but its solution arrays are
+    // stale (from the last probe): not a source of duals for cut aging.
+    lpDualsFresh_ = false;
+    return best;
+}
+
 void Solver::updatePseudocost(const Node& node, double lpObj) {
     if (node.branchVar < 0 || node.parentRelaxObj <= -kInf) return;
     const double gain = std::max(0.0, lpObj - node.parentRelaxObj);
@@ -627,6 +716,14 @@ void Solver::updatePseudocost(const Node& node, double lpObj) {
 
 void Solver::branchOn(const BranchDecision& dec, const std::vector<double>& x) {
     const Node& parent = *processing_;
+    // Snapshot the node's final LP basis once; all children share it as
+    // their warm-start point (lp::Basis is immutable after creation).
+    std::shared_ptr<const lp::Basis> snap;
+    if (lpBuilt_ && lpSolutionValid_ &&
+        params_.getBool("lp/warmstart", true)) {
+        lp::Basis b = lp_.basis();
+        if (b.valid()) snap = std::make_shared<const lp::Basis>(std::move(b));
+    }
     auto makeChild = [&]() {
         auto child = std::make_unique<Node>();
         child->id = nextNodeId_++;
@@ -636,6 +733,7 @@ void Solver::branchOn(const BranchDecision& dec, const std::vector<double>& x) {
         child->desc = parent.desc;
         child->desc.lowerBound = parent.lowerBound;
         child->parentRelaxObj = parent.lowerBound;
+        child->warmBasis = snap;
         stats_.maxDepth = std::max(stats_.maxDepth, child->depth);
         ++stats_.nodesCreated;
         return child;
@@ -842,8 +940,20 @@ std::int64_t Solver::step() {
             pruned = true;
         }
     } else {
+        // Warm start: restore the parent's optimal basis before the first
+        // LP of this node. Under DFS plunging the LP often still holds that
+        // basis, but after a best-bound jump this is what turns the node's
+        // first solve into a short dual reoptimization instead of a cold
+        // phase-1/2 run.
+        if (node.warmBasis && params_.getBool("lp/warmstart", true)) {
+            syncLpBounds();  // may rebuild the LP if the cut pool changed
+            if (lpBuilt_ && lp_.loadBasis(*node.warmBasis)) {
+                lpSolutionValid_ = true;
+                ++stats_.basisWarmStarts;
+            }
+        }
         // Deeper nodes separate less aggressively (cuts are most valuable
-        // near the root, and every row makes the dense LP pricier).
+        // near the root, and every extra row makes the LP pricier).
         const int maxSepaRounds =
             node.depth == 0
                 ? params_.getInt("separating/maxroundsroot",
@@ -906,6 +1016,7 @@ std::int64_t Solver::step() {
                 rst = lp_.resolve();
                 stats_.lpIterations += lp_.iterations() - before;
                 pendingCost_ += lp_.iterations() - before;
+                lpDualsFresh_ = (rst == lp::SolveStatus::Optimal);
             }
             if (rst == lp::SolveStatus::Infeasible) {
                 pruned = true;
@@ -997,7 +1108,9 @@ std::int64_t Solver::step() {
     if (dec.empty()) {
         const std::string rule = params_.getString("branching", "pseudocost");
         int j = -1;
-        if (rule == "pseudocost") j = pseudocostVar(relaxSol);
+        if (rule == "strong") j = strongBranchingVar(relaxSol);
+        if (j < 0 && (rule == "pseudocost" || rule == "strong"))
+            j = pseudocostVar(relaxSol);
         if (j < 0) j = mostFractionalVar(relaxSol);
         if (j >= 0) {
             dec.var = j;
@@ -1048,8 +1161,9 @@ int Solver::addManagedRow(Row row) {
     mr.row = std::move(row);
     if (lpBuilt_) {
         const long before = lp_.iterations();
-        lp_.addRowsAndResolve({mr.row});
+        const lp::SolveStatus st = lp_.addRowsAndResolve({mr.row});
         pendingCost_ += lp_.iterations() - before;
+        lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
         mr.lpIndex = lp_.numRows() - 1;
     }
     managedRows_.push_back(std::move(mr));

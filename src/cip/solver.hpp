@@ -52,6 +52,8 @@ struct Stats {
     std::int64_t totalCost = 0;   ///< deterministic work units spent
     std::int64_t rootCost = 0;    ///< work units spent on the root node
     std::int64_t numericalFailures = 0;  ///< nodes dropped on relax failure
+    std::int64_t basisWarmStarts = 0;  ///< node LPs started from parent basis
+    std::int64_t strongBranchProbes = 0;  ///< strong-branching LP probes run
 };
 
 class Solver {
@@ -191,6 +193,9 @@ private:
     std::vector<ManagedRow> managedRows_;
     double lpObj_ = -kInf;
     bool lpSolutionValid_ = false;
+    /// True only while lp_.duals() stems from an Optimal (re)solve; guards
+    /// cut aging against stale duals after a failed/NumericalTrouble LP.
+    bool lpDualsFresh_ = false;
 
     // Tree.
     std::vector<NodePtr> open_;
@@ -229,6 +234,11 @@ private:
     bool isIntegral(const std::vector<double>& x) const;
     int mostFractionalVar(const std::vector<double>& x) const;
     int pseudocostVar(const std::vector<double>& x) const;
+    /// Strong branching ("branching" = "strong"): probe the most fractional
+    /// candidates with bound-tightened LP resolves, restoring the pre-probe
+    /// basis after each probe instead of re-solving the node LP. Observed
+    /// gains feed the pseudocosts. Returns -1 if probing is impossible.
+    int strongBranchingVar(const std::vector<double>& x);
     bool checkSolutionFeasible(const std::vector<double>& x, double* objOut);
     void runHeuristics(const std::vector<double>& relaxSol);
     std::optional<Solution> roundingHeuristic(const std::vector<double>& x);

@@ -1,0 +1,48 @@
+// Basis snapshots: the warm-start currency between the LP engine and the
+// branch-and-bound layer.
+//
+// A simplex basis is fully described by the status of every variable
+// (structural columns first, then one slack per row): the Basic set plus the
+// bound each nonbasic variable rests at. Row assignment and factorization
+// are NOT part of the snapshot — SimplexSolver::loadBasis() re-derives both
+// by refactorizing, which also makes snapshots robust against the LP having
+// gained or lost trailing rows (cuts) since the snapshot was taken: slacks
+// of unknown new rows enter the basis, statuses of vanished rows are
+// dropped.
+//
+// Contract used by cip::Solver:
+//   * after an Optimal node LP, basis() is attached to the node's children;
+//   * before a child's first LP, loadBasis() restores the parent basis and
+//     the dual simplex reoptimizes from there;
+//   * strong-branching probes snapshot before probing and restore after, so
+//     a probe costs its own pivots only, not a re-solve of the node LP.
+// loadBasis() returning false means the snapshot could not be applied
+// (column count changed, or the implied basis matrix is singular); callers
+// must fall back to a cold solve.
+#pragma once
+
+#include <vector>
+
+namespace lp {
+
+/// Simplex status of one variable (structural or slack).
+enum class VarStatus : unsigned char {
+    AtLower,   ///< nonbasic at its lower bound
+    AtUpper,   ///< nonbasic at its upper bound
+    Basic,     ///< in the basis
+    FreeZero,  ///< nonbasic free variable, held at zero
+};
+
+/// Snapshot of a simplex basis over n structural columns and m rows.
+struct Basis {
+    int cols = 0;  ///< structural column count at snapshot time
+    int rows = 0;  ///< row count at snapshot time
+    std::vector<VarStatus> status;  ///< size cols + rows (slacks trailing)
+
+    bool valid() const {
+        return !status.empty() &&
+               static_cast<int>(status.size()) == cols + rows;
+    }
+};
+
+}  // namespace lp

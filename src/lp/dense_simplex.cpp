@@ -1,0 +1,633 @@
+#include "lp/dense_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lp {
+
+namespace {
+constexpr double kFeasTol = 1e-7;   // primal feasibility tolerance
+constexpr double kOptTol = 1e-7;    // reduced-cost tolerance
+constexpr double kPivotTol = 1e-9;  // minimum admissible pivot magnitude
+constexpr int kRefactorInterval = 64;
+}  // namespace
+
+void DenseSimplexSolver::load(const LpModel& model) {
+    n_ = model.numCols();
+    m_ = model.numRows();
+    const int tot = n_ + m_;
+    cols_.assign(tot, {});
+    cost_.assign(tot, 0.0);
+    lb_.assign(tot, 0.0);
+    ub_.assign(tot, 0.0);
+    for (int j = 0; j < n_; ++j) {
+        cost_[j] = model.col(j).obj;
+        lb_[j] = model.col(j).lb;
+        ub_[j] = model.col(j).ub;
+    }
+    for (int i = 0; i < m_; ++i) {
+        const Row& r = model.row(i);
+        for (const auto& [j, v] : r.coefs) {
+            if (j < 0 || j >= n_) throw std::out_of_range("row coef column");
+            if (v != 0.0) cols_[j].entries.emplace_back(i, v);
+        }
+        // Slack s_i with A x - s = 0, s in [lhs, rhs].
+        cols_[n_ + i].entries.emplace_back(i, -1.0);
+        lb_[n_ + i] = r.lhs;
+        ub_[n_ + i] = r.rhs;
+    }
+    basisValid_ = false;
+    totalIters_ = 0;
+}
+
+double DenseSimplexSolver::nonbasicValue(int j) const {
+    switch (vstat_[j]) {
+        case AtLower: return lb_[j];
+        case AtUpper: return ub_[j];
+        case FreeZero: return 0.0;
+        case Basic: break;
+    }
+    return 0.0;  // not reached for nonbasic
+}
+
+void DenseSimplexSolver::setupSlackBasis() {
+    const int tot = n_ + m_;
+    vstat_.assign(tot, AtLower);
+    for (int j = 0; j < tot; ++j) {
+        if (lb_[j] > -kInf)
+            vstat_[j] = AtLower;
+        else if (ub_[j] < kInf)
+            vstat_[j] = AtUpper;
+        else
+            vstat_[j] = FreeZero;
+    }
+    basic_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+        basic_[i] = n_ + i;
+        vstat_[n_ + i] = Basic;
+    }
+    binv_.assign(m_, std::vector<double>(m_, 0.0));
+    // B = -I for the all-slack basis, so B^{-1} = -I.
+    for (int i = 0; i < m_; ++i) binv_[i][i] = -1.0;
+    basisValid_ = true;
+    computeBasicSolution();
+}
+
+void DenseSimplexSolver::computeBasicSolution() {
+    // z_B = -B^{-1} * (sum over nonbasic j: a_j * value_j)
+    std::vector<double> rhs(m_, 0.0);
+    const int tot = n_ + m_;
+    for (int j = 0; j < tot; ++j) {
+        if (vstat_[j] == Basic) continue;
+        const double v = nonbasicValue(j);
+        if (v == 0.0) continue;
+        for (const auto& [row, coef] : cols_[j].entries) rhs[row] += coef * v;
+    }
+    xb_.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+        double s = 0.0;
+        for (int k = 0; k < m_; ++k) s -= binv_[i][k] * rhs[k];
+        xb_[i] = s;
+    }
+}
+
+bool DenseSimplexSolver::refactorize() {
+    // Build B column-wise, then invert by Gauss-Jordan with partial pivoting.
+    std::vector<std::vector<double>> a(m_, std::vector<double>(2 * m_, 0.0));
+    for (int k = 0; k < m_; ++k) {
+        for (const auto& [row, coef] : cols_[basic_[k]].entries)
+            a[row][k] = coef;
+        a[k][m_ + k] = 1.0;
+    }
+    for (int col = 0; col < m_; ++col) {
+        int best = col;
+        double bestAbs = std::fabs(a[col][col]);
+        for (int i = col + 1; i < m_; ++i)
+            if (std::fabs(a[i][col]) > bestAbs) {
+                bestAbs = std::fabs(a[i][col]);
+                best = i;
+            }
+        if (bestAbs < 1e-11) return false;
+        std::swap(a[col], a[best]);
+        const double piv = a[col][col];
+        for (int j = col; j < 2 * m_; ++j) a[col][j] /= piv;
+        for (int i = 0; i < m_; ++i) {
+            if (i == col) continue;
+            const double f = a[i][col];
+            if (f == 0.0) continue;
+            for (int j = col; j < 2 * m_; ++j) a[i][j] -= f * a[col][j];
+        }
+    }
+    binv_.assign(m_, std::vector<double>(m_, 0.0));
+    for (int i = 0; i < m_; ++i)
+        for (int j = 0; j < m_; ++j) binv_[i][j] = a[i][m_ + j];
+    return true;
+}
+
+void DenseSimplexSolver::priceDuals(const std::vector<double>& cb,
+                               std::vector<double>& y) const {
+    y.assign(m_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+        const double c = cb[i];
+        if (c == 0.0) continue;
+        const std::vector<double>& bi = binv_[i];
+        for (int k = 0; k < m_; ++k) y[k] += c * bi[k];
+    }
+}
+
+double DenseSimplexSolver::columnDot(int j, const std::vector<double>& y) const {
+    double s = 0.0;
+    for (const auto& [row, coef] : cols_[j].entries) s += coef * y[row];
+    return s;
+}
+
+void DenseSimplexSolver::ftran(int j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for (const auto& [row, coef] : cols_[j].entries) {
+        if (coef == 0.0) continue;
+        for (int i = 0; i < m_; ++i) w[i] += binv_[i][row] * coef;
+    }
+}
+
+void DenseSimplexSolver::pivot(int enter, int leaveRow, const std::vector<double>& w,
+                          double enterValue, VStat leaveTo) {
+    const int leaveVar = basic_[leaveRow];
+    // Incremental update of basic values: the entering variable moves by dz
+    // from its nonbasic value, changing z_B by -w*dz. O(m) instead of a full
+    // recompute; periodic refactorization clears accumulated drift.
+    const double dz = enterValue - nonbasicValue(enter);
+    for (int i = 0; i < m_; ++i) xb_[i] -= w[i] * dz;
+    // Update binv: premultiply by the elementary matrix that maps w -> e_r.
+    const double piv = w[leaveRow];
+    std::vector<double>& br = binv_[leaveRow];
+    for (int k = 0; k < m_; ++k) br[k] /= piv;
+    for (int i = 0; i < m_; ++i) {
+        if (i == leaveRow) continue;
+        const double f = w[i];
+        if (f == 0.0) continue;
+        std::vector<double>& bi = binv_[i];
+        for (int k = 0; k < m_; ++k) bi[k] -= f * br[k];
+    }
+    basic_[leaveRow] = enter;
+    vstat_[enter] = Basic;
+    vstat_[leaveVar] = leaveTo;
+    xb_[leaveRow] = enterValue;
+}
+
+double DenseSimplexSolver::infeasibilitySum() const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) {
+        const int j = basic_[i];
+        if (xb_[i] < lb_[j] - kFeasTol) s += lb_[j] - xb_[i];
+        if (xb_[i] > ub_[j] + kFeasTol) s += xb_[i] - ub_[j];
+    }
+    return s;
+}
+
+SolveStatus DenseSimplexSolver::primalSimplex(bool phase1Allowed) {
+    std::vector<double> cb(m_), y, w;
+    bool bland = false;
+    int stall = 0;
+    double lastMeasure = kInf;
+    long iters = 0;
+    int sinceRefactor = 0;
+    // Anti-degeneracy cost perturbation (classical): deterministic tiny
+    // offsets break ties; once perturbed-optimal, the perturbation is
+    // removed and optimization continues with the true costs.
+    std::vector<double> perturb;
+    auto costOf = [&](int j) {
+        return cost_[j] + (perturb.empty() ? 0.0 : perturb[j]);
+    };
+
+    while (true) {
+        if (++iters > iterLimit_) return SolveStatus::IterLimit;
+        ++totalIters_;
+        if (++sinceRefactor >= kRefactorInterval) {
+            if (!refactorize()) return SolveStatus::NumericalTrouble;
+            computeBasicSolution();
+            sinceRefactor = 0;
+        }
+
+        const double infeas = infeasibilitySum();
+        const bool phase1 = infeas > kFeasTol * (1 + m_);
+        if (phase1 && !phase1Allowed) return SolveStatus::NumericalTrouble;
+
+        // Cost vector for pricing: real costs in phase 2, infeasibility
+        // gradient in phase 1.
+        if (phase1) {
+            for (int i = 0; i < m_; ++i) {
+                const int j = basic_[i];
+                cb[i] = 0.0;
+                if (xb_[i] < lb_[j] - kFeasTol) cb[i] = -1.0;
+                else if (xb_[i] > ub_[j] + kFeasTol) cb[i] = 1.0;
+            }
+        } else {
+            for (int i = 0; i < m_; ++i) cb[i] = costOf(basic_[i]);
+        }
+        priceDuals(cb, y);
+
+        // Progress / stalling detection (switch to Bland's rule on stall).
+        double measure;
+        if (phase1) {
+            measure = infeas;
+        } else {
+            measure = 0.0;
+            for (int i = 0; i < m_; ++i) measure += cost_[basic_[i]] * xb_[i];
+            const int tot = n_ + m_;
+            for (int j = 0; j < tot; ++j)
+                if (vstat_[j] != Basic && cost_[j] != 0.0)
+                    measure += cost_[j] * nonbasicValue(j);
+        }
+        if (measure < lastMeasure - 1e-10) {
+            stall = 0;
+            bland = false;
+        } else {
+            ++stall;
+            if (stall == 60 && !phase1 && perturb.empty()) {
+                // Degenerate plateau: perturb the phase-2 costs.
+                const int tot = n_ + m_;
+                perturb.assign(tot, 0.0);
+                for (int j = 0; j < tot; ++j) {
+                    const unsigned h =
+                        static_cast<unsigned>(j) * 2654435761u;
+                    perturb[j] = 1e-7 * (1.0 + double(h % 1024) / 1024.0);
+                }
+            }
+            if (stall > 500) bland = true;
+        }
+        lastMeasure = measure;
+
+        // Pricing: pick entering variable.
+        int enter = -1;
+        int sigma = 0;  // +1: entering increases, -1: decreases
+        double bestScore = phase1 ? -kOptTol : -kOptTol;
+        const int tot = n_ + m_;
+        for (int j = 0; j < tot; ++j) {
+            if (vstat_[j] == Basic) continue;
+            const double cj = phase1 ? 0.0 : costOf(j);
+            const double d = cj - columnDot(j, y);
+            int sig = 0;
+            double score = 0.0;
+            if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && d < -kOptTol) {
+                sig = 1;
+                score = d;
+            } else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
+                       d > kOptTol) {
+                sig = -1;
+                score = -d;
+            } else {
+                continue;
+            }
+            if (bland) {
+                enter = j;
+                sigma = sig;
+                break;
+            }
+            if (score < bestScore) {
+                bestScore = score;
+                enter = j;
+                sigma = sig;
+            }
+        }
+        if (enter < 0) {
+            // No improving direction.
+            if (phase1) return SolveStatus::Infeasible;
+            if (!perturb.empty()) {
+                // Perturbed-optimal: drop the perturbation and continue
+                // with the true costs (usually a handful of extra pivots).
+                perturb.clear();
+                stall = 0;
+                lastMeasure = kInf;
+                continue;
+            }
+            extractSolution();
+            return SolveStatus::Optimal;
+        }
+
+        ftran(enter, w);
+
+        // Ratio test: entering moves by t >= 0 in direction sigma;
+        // basic values change by -sigma * w * t.
+        double tMax = kInf;
+        int leaveRow = -1;
+        VStat leaveTo = AtLower;
+        // Bound flip of the entering variable itself.
+        if (lb_[enter] > -kInf && ub_[enter] < kInf)
+            tMax = ub_[enter] - lb_[enter];
+        for (int i = 0; i < m_; ++i) {
+            const double delta = -sigma * w[i];
+            if (std::fabs(delta) < kPivotTol) continue;
+            const int j = basic_[i];
+            const bool belowLb = xb_[i] < lb_[j] - kFeasTol;
+            const bool aboveUb = xb_[i] > ub_[j] + kFeasTol;
+            double ti = kInf;
+            VStat to = AtLower;
+            if (delta > 0.0) {
+                // basic value increases
+                if (belowLb) {
+                    ti = (lb_[j] - xb_[i]) / delta;  // reaches feasibility
+                    to = AtLower;
+                } else if (!aboveUb && ub_[j] < kInf) {
+                    ti = (ub_[j] - xb_[i]) / delta;
+                    to = AtUpper;
+                }
+                // above-ub basics moving further up never block (phase 1
+                // accounts for their worsening in the reduced costs)
+                if (aboveUb) ti = kInf;
+            } else {
+                // basic value decreases
+                if (aboveUb) {
+                    ti = (ub_[j] - xb_[i]) / delta;
+                    to = AtUpper;
+                } else if (!belowLb && lb_[j] > -kInf) {
+                    ti = (lb_[j] - xb_[i]) / delta;
+                    to = AtLower;
+                }
+                if (belowLb) ti = kInf;
+            }
+            if (ti < -1e-12) ti = 0.0;
+            if (ti < tMax - 1e-12 ||
+                (bland && leaveRow >= 0 && std::fabs(ti - tMax) <= 1e-12 &&
+                 basic_[i] < basic_[leaveRow])) {
+                tMax = ti;
+                leaveRow = i;
+                leaveTo = to;
+            }
+        }
+
+        if (tMax >= kInf) {
+            if (phase1) {
+                // Entering improves infeasibility without bound: cannot
+                // happen for consistent data; treat as numerical trouble.
+                return SolveStatus::NumericalTrouble;
+            }
+            return SolveStatus::Unbounded;
+        }
+
+        if (leaveRow < 0) {
+            // Bound flip: entering variable moves to its other bound; the
+            // basic values shift by -sigma*w*t (incremental).
+            vstat_[enter] = (sigma > 0) ? AtUpper : AtLower;
+            for (int i = 0; i < m_; ++i) xb_[i] -= sigma * w[i] * tMax;
+            continue;
+        }
+
+        const double enterValue = nonbasicValue(enter) + sigma * tMax;
+        pivot(enter, leaveRow, w, enterValue, leaveTo);
+    }
+}
+
+SolveStatus DenseSimplexSolver::dualSimplex() {
+    std::vector<double> cb(m_), y, w;
+    long iters = 0;
+    int sinceRefactor = 0;
+    bool bland = false;
+    int stall = 0;
+    double lastInfeas = kInf;
+
+    while (true) {
+        if (++iters > iterLimit_) return SolveStatus::IterLimit;
+        ++totalIters_;
+        if (++sinceRefactor >= kRefactorInterval) {
+            if (!refactorize()) return SolveStatus::NumericalTrouble;
+            computeBasicSolution();
+            sinceRefactor = 0;
+        }
+
+        // Select leaving row: maximum primal bound violation.
+        int leaveRow = -1;
+        double worst = kFeasTol;
+        bool leaveToUpper = false;
+        for (int i = 0; i < m_; ++i) {
+            const int j = basic_[i];
+            const double below = lb_[j] - xb_[i];
+            const double above = xb_[i] - ub_[j];
+            double viol = std::max(below, above);
+            if (bland) {
+                if (viol > kFeasTol) {
+                    leaveRow = i;
+                    leaveToUpper = above > below;
+                    break;
+                }
+            } else if (viol > worst) {
+                worst = viol;
+                leaveRow = i;
+                leaveToUpper = above > below;
+            }
+        }
+        if (leaveRow < 0) {
+            // Primal feasible; polish with phase-2 primal (confirms/regains
+            // optimality in a handful of iterations).
+            return primalSimplex(/*phase1Allowed=*/false);
+        }
+
+        const double infeas = infeasibilitySum();
+        if (infeas < lastInfeas - 1e-10) {
+            stall = 0;
+            bland = false;
+        } else if (++stall > 300) {
+            bland = true;
+        }
+        lastInfeas = infeas;
+
+        // Reduced costs wrt real objective.
+        for (int i = 0; i < m_; ++i) cb[i] = cost_[basic_[i]];
+        priceDuals(cb, y);
+
+        // Row r of B^{-1} * A over nonbasic columns.
+        const std::vector<double>& brow = binv_[leaveRow];
+        const int leaveVar = basic_[leaveRow];
+        const double target = leaveToUpper ? ub_[leaveVar] : lb_[leaveVar];
+        // Leaving basic must move toward target:
+        //   xb_r changes by -alpha_j * dz_j for entering j.
+        const bool needIncrease = !leaveToUpper;  // below lb -> increase
+
+        int enter = -1;
+        double bestRatio = kInf;
+        int enterSigma = 0;
+        const int tot = n_ + m_;
+        for (int j = 0; j < tot; ++j) {
+            if (vstat_[j] == Basic) continue;
+            const double alpha = columnDot(j, brow);
+            if (std::fabs(alpha) < kPivotTol) continue;
+            int sig = 0;
+            // dz_j = sig * t (t>0); xb_r changes by -alpha * sig * t.
+            if (needIncrease) {
+                if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && alpha < 0)
+                    sig = 1;
+                else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
+                         alpha > 0)
+                    sig = -1;
+            } else {
+                if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && alpha > 0)
+                    sig = 1;
+                else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
+                         alpha < 0)
+                    sig = -1;
+            }
+            if (sig == 0) continue;
+            const double d = cost_[j] - columnDot(j, y);
+            const double ratio = std::fabs(d) / std::fabs(alpha);
+            if (ratio < bestRatio - 1e-12) {
+                bestRatio = ratio;
+                enter = j;
+                enterSigma = sig;
+            }
+        }
+        if (enter < 0) {
+            // Dual unbounded -> primal infeasible.
+            return SolveStatus::Infeasible;
+        }
+
+        const double alphaE = columnDot(enter, brow);
+        const double dz = (xb_[leaveRow] - target) / alphaE;
+        // Guard direction consistency; tiny reversed steps are degenerate.
+        (void)enterSigma;
+        ftran(enter, w);
+        const double enterValue = nonbasicValue(enter) + dz;
+        pivot(enter, leaveRow, w, enterValue, leaveToUpper ? AtUpper : AtLower);
+    }
+}
+
+namespace {
+/// Branching can produce an empty variable box (lb > ub); detect it early.
+bool hasCrossedBounds(const std::vector<double>& lb,
+                      const std::vector<double>& ub) {
+    for (std::size_t j = 0; j < lb.size(); ++j)
+        if (lb[j] > ub[j] + kFeasTol) return true;
+    return false;
+}
+}  // namespace
+
+SolveStatus DenseSimplexSolver::solve() {
+    if (hasCrossedBounds(lb_, ub_)) return SolveStatus::Infeasible;
+    setupSlackBasis();
+    SolveStatus st = primalSimplex(/*phase1Allowed=*/true);
+    if (st == SolveStatus::NumericalTrouble) {
+        // One retry with a fresh factorization.
+        setupSlackBasis();
+        st = primalSimplex(true);
+    }
+    return st;
+}
+
+SolveStatus DenseSimplexSolver::addRowsAndResolve(const std::vector<Row>& rows) {
+    if (rows.empty()) return resolve();
+    if (!basisValid_) {
+        // No warm basis: just extend the problem and solve fresh.
+        for (const Row& r : rows) {
+            const int i = m_;
+            for (const auto& [j, v] : r.coefs)
+                if (v != 0.0) cols_[j].entries.emplace_back(i, v);
+            SparseCol slack;
+            slack.entries.emplace_back(i, -1.0);
+            cols_.push_back(std::move(slack));
+            cost_.push_back(0.0);
+            lb_.push_back(r.lhs);
+            ub_.push_back(r.rhs);
+            ++m_;
+        }
+        return solve();
+    }
+
+    const int mOld = m_;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        const Row& r = rows[k];
+        const int i = mOld + static_cast<int>(k);
+        for (const auto& [j, v] : r.coefs) {
+            if (j < 0 || j >= n_) throw std::out_of_range("cut column index");
+            if (v != 0.0) cols_[j].entries.emplace_back(i, v);
+        }
+        SparseCol slack;
+        slack.entries.emplace_back(i, -1.0);
+        cols_.push_back(std::move(slack));
+        cost_.push_back(0.0);
+        lb_.push_back(r.lhs);
+        ub_.push_back(r.rhs);
+        vstat_.push_back(Basic);
+    }
+    const int mNew = mOld + static_cast<int>(rows.size());
+
+    // Extend B^{-1}:  B_new = [[B, 0], [G, -I]]  =>
+    //                 B_new^{-1} = [[B^{-1}, 0], [G B^{-1}, -I]]
+    // where G holds the new-row coefficients of the old basic columns.
+    for (int i = 0; i < mOld; ++i) binv_[i].resize(mNew, 0.0);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        std::vector<double> gRow(mNew, 0.0);
+        // g over old basic variables: structural coefs only (old slacks have
+        // no entries in new rows).
+        std::vector<double> g(mOld, 0.0);
+        for (const auto& [j, v] : rows[k].coefs) {
+            if (vstat_[j] == Basic) {
+                for (int p = 0; p < mOld; ++p)
+                    if (basic_[p] == j) {
+                        g[p] += v;
+                        break;
+                    }
+            }
+        }
+        for (int c = 0; c < mOld; ++c) {
+            double s = 0.0;
+            for (int p = 0; p < mOld; ++p) s += g[p] * binv_[p][c];
+            gRow[c] = s;
+        }
+        gRow[mOld + k] = -1.0;
+        binv_.push_back(std::move(gRow));
+        basic_.push_back(n_ + mOld + static_cast<int>(k));
+    }
+    m_ = mNew;
+    computeBasicSolution();
+    SolveStatus st = dualSimplex();
+    if (st == SolveStatus::NumericalTrouble || st == SolveStatus::IterLimit) {
+        setupSlackBasis();
+        st = primalSimplex(true);
+    }
+    return st;
+}
+
+void DenseSimplexSolver::changeBounds(int col, double lb, double ub) {
+    lb_[col] = lb;
+    ub_[col] = ub;
+    if (!basisValid_ || vstat_[col] == Basic) return;
+    // Re-snap nonbasic status to a consistent finite bound.
+    if (vstat_[col] == AtLower && lb <= -kInf)
+        vstat_[col] = (ub < kInf) ? AtUpper : FreeZero;
+    else if (vstat_[col] == AtUpper && ub >= kInf)
+        vstat_[col] = (lb > -kInf) ? AtLower : FreeZero;
+}
+
+SolveStatus DenseSimplexSolver::resolve() {
+    if (hasCrossedBounds(lb_, ub_)) return SolveStatus::Infeasible;
+    if (!basisValid_) return solve();
+    computeBasicSolution();
+    SolveStatus st = dualSimplex();
+    if (st == SolveStatus::NumericalTrouble || st == SolveStatus::IterLimit) {
+        setupSlackBasis();
+        st = primalSimplex(true);
+    }
+    return st;
+}
+
+void DenseSimplexSolver::extractSolution() {
+    primalX_.assign(n_, 0.0);
+    const int tot = n_ + m_;
+    std::vector<double> full(tot, 0.0);
+    for (int j = 0; j < tot; ++j)
+        if (vstat_[j] != Basic) full[j] = nonbasicValue(j);
+    for (int i = 0; i < m_; ++i) full[basic_[i]] = xb_[i];
+    for (int j = 0; j < n_; ++j) primalX_[j] = full[j];
+
+    std::vector<double> cb(m_);
+    for (int i = 0; i < m_; ++i) cb[i] = cost_[basic_[i]];
+    priceDuals(cb, dualY_);
+
+    redCost_.assign(n_, 0.0);
+    for (int j = 0; j < n_; ++j)
+        redCost_[j] = cost_[j] - columnDot(j, dualY_);
+
+    obj_ = 0.0;
+    for (int j = 0; j < n_; ++j) obj_ += cost_[j] * primalX_[j];
+}
+
+}  // namespace lp

@@ -1,0 +1,108 @@
+// Product-form-inverse (PFI) eta file: the sparse factorization behind the
+// revised simplex engine.
+//
+// The basis inverse is represented as a product of elementary "eta" matrices
+//   B^{-1} = E_k^{-1} * ... * E_2^{-1} * E_1^{-1}
+// where each E is the identity with one column replaced by a sparse eta
+// vector. A refactorization emits exactly m etas (one Gaussian pivot per
+// basic column); every simplex pivot appends one more. FTRAN/BTRAN apply the
+// inverses column- resp. row-wise and skip etas whose pivot position carries
+// an exact zero, which is where the sparsity win over an explicit dense
+// B^{-1} comes from: the cost is O(sum of eta fill actually touched) instead
+// of O(m^2) per solve.
+//
+// Storage is a single packed pool (one offset array plus flat index/value
+// arrays) rather than a vector of per-eta vectors: FTRAN/BTRAN walk the pool
+// strictly sequentially, and appending an eta never allocates per eta.
+//
+// Numerical contract: entries below kEtaDropTol are dropped when an eta is
+// appended (they are products of already-rounded quantities); the simplex
+// layer runs a periodic residual check against the raw constraint matrix and
+// refactorizes when accumulated drift exceeds its tolerance, so dropped fill
+// never survives long.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace lp {
+
+inline constexpr double kEtaDropTol = 1e-13;
+
+class EtaFile {
+public:
+    /// Reset to an empty product for an m-row basis (B^{-1} = I).
+    void clear(int m) {
+        m_ = m;
+        col_.clear();
+        pivot_.clear();
+        start_.assign(1, 0);
+        idx_.clear();
+        val_.clear();
+    }
+
+    int dim() const { return m_; }
+    int size() const { return static_cast<int>(col_.size()); }
+
+    /// Total stored off-diagonal fill; the simplex layer refactorizes when
+    /// this outgrows a multiple of the basis dimension.
+    long fill() const { return static_cast<long>(idx_.size()); }
+
+    /// Append the eta that maps the dense column w to e_col (w[col] is the
+    /// pivot element). Used both by refactorization and by simplex pivots.
+    void append(int col, const std::vector<double>& w) {
+        col_.push_back(col);
+        pivot_.push_back(w[col]);
+        for (int i = 0; i < m_; ++i) {
+            if (i == col) continue;
+            if (std::fabs(w[i]) > kEtaDropTol) {
+                idx_.push_back(i);
+                val_.push_back(w[i]);
+            }
+        }
+        start_.push_back(idx_.size());
+    }
+
+    /// Append a trivial eta with a single diagonal entry (slack basis).
+    void appendUnit(int col, double pivot) {
+        col_.push_back(col);
+        pivot_.push_back(pivot);
+        start_.push_back(idx_.size());
+    }
+
+    /// FTRAN: x <- B^{-1} x. Applies E_1^{-1}, E_2^{-1}, ... in creation
+    /// order; an eta whose pivot position holds 0 is the identity on x.
+    void ftran(std::vector<double>& x) const {
+        const std::size_t k = col_.size();
+        for (std::size_t e = 0; e < k; ++e) {
+            double p = x[col_[e]];
+            if (p == 0.0) continue;
+            p /= pivot_[e];
+            x[col_[e]] = p;
+            for (std::size_t q = start_[e]; q < start_[e + 1]; ++q)
+                x[idx_[q]] -= val_[q] * p;
+        }
+    }
+
+    /// BTRAN: y <- B^{-T} y. Applies the transposed inverses in reverse
+    /// creation order; only the eta's own entries of y are read.
+    void btran(std::vector<double>& y) const {
+        for (std::size_t e = col_.size(); e-- > 0;) {
+            double s = y[col_[e]];
+            for (std::size_t q = start_[e]; q < start_[e + 1]; ++q)
+                s -= val_[q] * y[idx_[q]];
+            y[col_[e]] = s / pivot_[e];
+        }
+    }
+
+private:
+    int m_ = 0;
+    std::vector<int> col_;        ///< pivot column per eta
+    std::vector<double> pivot_;   ///< pivot value per eta
+    std::vector<std::size_t> start_;  ///< off-diagonal range per eta (size+1)
+    std::vector<int> idx_;        ///< packed off-diagonal rows
+    std::vector<double> val_;     ///< packed off-diagonal values
+};
+
+}  // namespace lp

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace lp {
 
 namespace {
-constexpr double kFeasTol = 1e-7;   // primal feasibility tolerance
-constexpr double kOptTol = 1e-7;    // reduced-cost tolerance
-constexpr double kPivotTol = 1e-9;  // minimum admissible pivot magnitude
-constexpr int kRefactorInterval = 64;
+constexpr double kFeasTol = 1e-7;    // primal feasibility tolerance
+constexpr double kOptTol = 1e-7;     // reduced-cost tolerance
+constexpr double kPivotTol = 1e-9;   // minimum admissible pivot magnitude
+constexpr double kResidTol = 1e-8;   // drift backstop on ||A x||
+constexpr int kResidCheckInterval = 50;  // iterations between residual checks
+constexpr int kMaxExtraEtas = 64;    // update etas tolerated before refactor
+constexpr double kDevexReset = 1e12;  // weight overflow -> reference reset
 }  // namespace
 
 const char* toString(SolveStatus s) {
@@ -48,140 +52,200 @@ void SimplexSolver::load(const LpModel& model) {
         lb_[n_ + i] = r.lhs;
         ub_[n_ + i] = r.rhs;
     }
+    cscDirty_ = true;
     basisValid_ = false;
     totalIters_ = 0;
+    pricingPos_ = 0;
+}
+
+void SimplexSolver::ensureCsc() {
+    if (!cscDirty_) return;
+    const int tot = n_ + m_;
+    std::size_t nnz = 0;
+    for (const SparseCol& c : cols_) nnz += c.entries.size();
+    cscPtr_.assign(tot + 1, 0);
+    cscRow_.resize(nnz);
+    cscVal_.resize(nnz);
+    std::size_t p = 0;
+    for (int j = 0; j < tot; ++j) {
+        cscPtr_[j] = static_cast<int>(p);
+        for (const auto& [row, coef] : cols_[j].entries) {
+            cscRow_[p] = row;
+            cscVal_[p] = coef;
+            ++p;
+        }
+    }
+    cscPtr_[tot] = static_cast<int>(p);
+
+    // CSR transpose via counting sort over the CSC arrays.
+    csrPtr_.assign(m_ + 1, 0);
+    for (std::size_t q = 0; q < nnz; ++q) ++csrPtr_[cscRow_[q] + 1];
+    for (int i = 0; i < m_; ++i) csrPtr_[i + 1] += csrPtr_[i];
+    csrCol_.resize(nnz);
+    csrVal_.resize(nnz);
+    std::vector<int> fill(csrPtr_.begin(), csrPtr_.end() - 1);
+    for (int j = 0; j < tot; ++j)
+        for (int q = cscPtr_[j]; q < cscPtr_[j + 1]; ++q) {
+            const int at = fill[cscRow_[q]]++;
+            csrCol_[at] = j;
+            csrVal_[at] = cscVal_[q];
+        }
+    cscDirty_ = false;
 }
 
 double SimplexSolver::nonbasicValue(int j) const {
     switch (vstat_[j]) {
-        case AtLower: return lb_[j];
-        case AtUpper: return ub_[j];
-        case FreeZero: return 0.0;
-        case Basic: break;
+        case VStat::AtLower: return lb_[j];
+        case VStat::AtUpper: return ub_[j];
+        case VStat::FreeZero: return 0.0;
+        case VStat::Basic: break;
     }
     return 0.0;  // not reached for nonbasic
 }
 
+void SimplexSolver::resetDevex() {
+    devex_.assign(static_cast<std::size_t>(n_) + m_, 1.0);
+}
+
 void SimplexSolver::setupSlackBasis() {
     const int tot = n_ + m_;
-    vstat_.assign(tot, AtLower);
+    vstat_.assign(tot, VStat::AtLower);
     for (int j = 0; j < tot; ++j) {
         if (lb_[j] > -kInf)
-            vstat_[j] = AtLower;
+            vstat_[j] = VStat::AtLower;
         else if (ub_[j] < kInf)
-            vstat_[j] = AtUpper;
+            vstat_[j] = VStat::AtUpper;
         else
-            vstat_[j] = FreeZero;
+            vstat_[j] = VStat::FreeZero;
     }
     basic_.resize(m_);
+    eta_.clear(m_);
+    // B = -I for the all-slack basis: one trivial eta per row.
     for (int i = 0; i < m_; ++i) {
         basic_[i] = n_ + i;
-        vstat_[n_ + i] = Basic;
+        vstat_[n_ + i] = VStat::Basic;
+        eta_.appendUnit(i, -1.0);
     }
-    binv_.assign(m_, std::vector<double>(m_, 0.0));
-    // B = -I for the all-slack basis, so B^{-1} = -I.
-    for (int i = 0; i < m_; ++i) binv_[i][i] = -1.0;
+    ++numFactor_;
+    resetDevex();
     basisValid_ = true;
     computeBasicSolution();
 }
 
 void SimplexSolver::computeBasicSolution() {
-    // z_B = -B^{-1} * (sum over nonbasic j: a_j * value_j)
+    // x_B = -B^{-1} * (sum over nonbasic j: a_j * value_j)
+    ensureCsc();
     std::vector<double> rhs(m_, 0.0);
     const int tot = n_ + m_;
     for (int j = 0; j < tot; ++j) {
-        if (vstat_[j] == Basic) continue;
+        if (vstat_[j] == VStat::Basic) continue;
         const double v = nonbasicValue(j);
         if (v == 0.0) continue;
-        for (const auto& [row, coef] : cols_[j].entries) rhs[row] += coef * v;
+        for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+            rhs[cscRow_[p]] += cscVal_[p] * v;
     }
+    eta_.ftran(rhs);
     xb_.assign(m_, 0.0);
-    for (int i = 0; i < m_; ++i) {
-        double s = 0.0;
-        for (int k = 0; k < m_; ++k) s -= binv_[i][k] * rhs[k];
-        xb_[i] = s;
-    }
+    for (int i = 0; i < m_; ++i) xb_[i] = -rhs[i];
 }
 
 bool SimplexSolver::refactorize() {
-    // Build B column-wise, then invert by Gauss-Jordan with partial pivoting.
-    std::vector<std::vector<double>> a(m_, std::vector<double>(2 * m_, 0.0));
-    for (int k = 0; k < m_; ++k) {
-        for (const auto& [row, coef] : cols_[basic_[k]].entries)
-            a[row][k] = coef;
-        a[k][m_ + k] = 1.0;
-    }
-    for (int col = 0; col < m_; ++col) {
-        int best = col;
-        double bestAbs = std::fabs(a[col][col]);
-        for (int i = col + 1; i < m_; ++i)
-            if (std::fabs(a[i][col]) > bestAbs) {
-                bestAbs = std::fabs(a[i][col]);
-                best = i;
-            }
-        if (bestAbs < 1e-11) return false;
-        std::swap(a[col], a[best]);
-        const double piv = a[col][col];
-        for (int j = col; j < 2 * m_; ++j) a[col][j] /= piv;
+    // Rebuild the eta file with one Gaussian pivot per basic column.
+    // Columns are processed sparsest-first (a cheap Markowitz surrogate);
+    // each step FTRANs the column through the etas built so far and pivots
+    // on the largest entry among still-unassigned rows. The pivot row
+    // becomes the column's basis position, so basic_ is re-permuted here.
+    ensureCsc();
+    ++numFactor_;
+    std::vector<int> order(m_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return cols_[basic_[a]].entries.size() < cols_[basic_[b]].entries.size();
+    });
+    eta_.clear(m_);
+    std::vector<int> newBasic(m_, -1);
+    std::vector<char> rowUsed(m_, 0);
+    std::vector<double> w(m_, 0.0);
+    for (int k : order) {
+        const int j = basic_[k];
+        std::fill(w.begin(), w.end(), 0.0);
+        for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+            w[cscRow_[p]] = cscVal_[p];
+        eta_.ftran(w);
+        int r = -1;
+        double best = 0.0;
         for (int i = 0; i < m_; ++i) {
-            if (i == col) continue;
-            const double f = a[i][col];
-            if (f == 0.0) continue;
-            for (int j = col; j < 2 * m_; ++j) a[i][j] -= f * a[col][j];
+            if (rowUsed[i]) continue;
+            const double a = std::fabs(w[i]);
+            if (a > best) {
+                best = a;
+                r = i;
+            }
         }
+        if (r < 0 || best < 1e-11) return false;  // singular basis
+        eta_.append(r, w);
+        newBasic[r] = j;
+        rowUsed[r] = 1;
     }
-    binv_.assign(m_, std::vector<double>(m_, 0.0));
-    for (int i = 0; i < m_; ++i)
-        for (int j = 0; j < m_; ++j) binv_[i][j] = a[i][m_ + j];
+    basic_ = std::move(newBasic);
     return true;
+}
+
+double SimplexSolver::solutionResidual() const {
+    // ||A x - s|| over the full [structural | slack] system: exact zero for
+    // a perfectly computed basic solution, grows with eta-file drift.
+    std::vector<double> r(m_, 0.0);
+    const int tot = n_ + m_;
+    double scale = 1.0;
+    std::vector<double> xfull(tot, 0.0);
+    for (int j = 0; j < tot; ++j)
+        if (vstat_[j] != VStat::Basic) xfull[j] = nonbasicValue(j);
+    for (int i = 0; i < m_; ++i) xfull[basic_[i]] = xb_[i];
+    for (int j = 0; j < tot; ++j) {
+        const double v = xfull[j];
+        if (v == 0.0) continue;
+        scale = std::max(scale, std::fabs(v));
+        for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+            r[cscRow_[p]] += cscVal_[p] * v;
+    }
+    double worst = 0.0;
+    for (int i = 0; i < m_; ++i) worst = std::max(worst, std::fabs(r[i]));
+    return worst / scale;
 }
 
 void SimplexSolver::priceDuals(const std::vector<double>& cb,
                                std::vector<double>& y) const {
-    y.assign(m_, 0.0);
-    for (int i = 0; i < m_; ++i) {
-        const double c = cb[i];
-        if (c == 0.0) continue;
-        const std::vector<double>& bi = binv_[i];
-        for (int k = 0; k < m_; ++k) y[k] += c * bi[k];
-    }
+    y = cb;
+    eta_.btran(y);
 }
 
 double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
     double s = 0.0;
-    for (const auto& [row, coef] : cols_[j].entries) s += coef * y[row];
+    for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+        s += cscVal_[p] * y[cscRow_[p]];
     return s;
 }
 
-void SimplexSolver::ftran(int j, std::vector<double>& w) const {
+void SimplexSolver::ftranColumn(int j, std::vector<double>& w) const {
     w.assign(m_, 0.0);
-    for (const auto& [row, coef] : cols_[j].entries) {
-        if (coef == 0.0) continue;
-        for (int i = 0; i < m_; ++i) w[i] += binv_[i][row] * coef;
-    }
+    for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+        w[cscRow_[p]] = cscVal_[p];
+    eta_.ftran(w);
 }
 
 void SimplexSolver::pivot(int enter, int leaveRow, const std::vector<double>& w,
                           double enterValue, VStat leaveTo) {
     const int leaveVar = basic_[leaveRow];
     // Incremental update of basic values: the entering variable moves by dz
-    // from its nonbasic value, changing z_B by -w*dz. O(m) instead of a full
-    // recompute; periodic refactorization clears accumulated drift.
+    // from its nonbasic value, changing x_B by -w*dz. O(m) instead of a full
+    // recompute; the residual check + refactorization clear accumulated
+    // drift.
     const double dz = enterValue - nonbasicValue(enter);
     for (int i = 0; i < m_; ++i) xb_[i] -= w[i] * dz;
-    // Update binv: premultiply by the elementary matrix that maps w -> e_r.
-    const double piv = w[leaveRow];
-    std::vector<double>& br = binv_[leaveRow];
-    for (int k = 0; k < m_; ++k) br[k] /= piv;
-    for (int i = 0; i < m_; ++i) {
-        if (i == leaveRow) continue;
-        const double f = w[i];
-        if (f == 0.0) continue;
-        std::vector<double>& bi = binv_[i];
-        for (int k = 0; k < m_; ++k) bi[k] -= f * br[k];
-    }
+    // The update eta maps w = B^{-1} a_enter to e_leaveRow.
+    eta_.append(leaveRow, w);
     basic_[leaveRow] = enter;
-    vstat_[enter] = Basic;
+    vstat_[enter] = VStat::Basic;
     vstat_[leaveVar] = leaveTo;
     xb_[leaveRow] = enterValue;
 }
@@ -196,13 +260,83 @@ double SimplexSolver::infeasibilitySum() const {
     return s;
 }
 
+int SimplexSolver::pricePrimal(bool phase1, const std::vector<double>& y,
+                               const std::vector<double>& perturb, bool bland,
+                               int& sigma) {
+    const int tot = n_ + m_;
+    auto redCostOf = [&](int j) {
+        const double cj =
+            phase1 ? 0.0 : cost_[j] + (perturb.empty() ? 0.0 : perturb[j]);
+        return cj - columnDot(j, y);
+    };
+    auto eligible = [&](int j, double d, int& sig) {
+        if ((vstat_[j] == VStat::AtLower || vstat_[j] == VStat::FreeZero) &&
+            d < -kOptTol) {
+            sig = 1;  // entering increases from its bound
+            return true;
+        }
+        if ((vstat_[j] == VStat::AtUpper || vstat_[j] == VStat::FreeZero) &&
+            d > kOptTol) {
+            sig = -1;  // entering decreases from its bound
+            return true;
+        }
+        return false;
+    };
+
+    if (bland) {
+        // Anti-cycling: lowest eligible index, full scan. Also the mode any
+        // claim of optimality under degeneracy ultimately rests on.
+        for (int j = 0; j < tot; ++j) {
+            if (vstat_[j] == VStat::Basic) continue;
+            int sig = 0;
+            if (eligible(j, redCostOf(j), sig)) {
+                sigma = sig;
+                return j;
+            }
+        }
+        return -1;
+    }
+
+    // Partial pricing: sweep rotating windows starting at the cursor and
+    // stop at the first window holding any candidate; pick the best devex
+    // score (d^2 / weight) within it. Declaring optimality requires the
+    // sweep to cover every column, so -1 is still exact.
+    const int window = std::max(32, tot / 8);
+    int best = -1, bestSig = 0;
+    double bestScore = 0.0;
+    int scanned = 0;
+    int pos = (tot > 0) ? pricingPos_ % tot : 0;
+    while (scanned < tot) {
+        const int end = std::min(pos + window, tot);
+        for (int j = pos; j < end; ++j) {
+            if (vstat_[j] == VStat::Basic) continue;
+            const double d = redCostOf(j);
+            int sig = 0;
+            if (!eligible(j, d, sig)) continue;
+            const double score = d * d / devex_[j];
+            if (score > bestScore) {
+                bestScore = score;
+                best = j;
+                bestSig = sig;
+            }
+        }
+        scanned += end - pos;
+        pos = (end == tot) ? 0 : end;
+        if (best >= 0) break;
+    }
+    pricingPos_ = pos;
+    sigma = bestSig;
+    return best;
+}
+
 SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
+    ensureCsc();
     std::vector<double> cb(m_), y, w;
     bool bland = false;
     int stall = 0;
     double lastMeasure = kInf;
     long iters = 0;
-    int sinceRefactor = 0;
+    int sinceCheck = 0;
     // Anti-degeneracy cost perturbation (classical): deterministic tiny
     // offsets break ties; once perturbed-optimal, the perturbation is
     // removed and optimization continues with the true costs.
@@ -214,10 +348,18 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
     while (true) {
         if (++iters > iterLimit_) return SolveStatus::IterLimit;
         ++totalIters_;
-        if (++sinceRefactor >= kRefactorInterval) {
+        // Drift backstop: refactorize when the eta file has grown past its
+        // budget, or when the periodic residual check detects that the
+        // incrementally updated solution no longer satisfies A x = 0.
+        if (eta_.size() > m_ + kMaxExtraEtas) {
             if (!refactorize()) return SolveStatus::NumericalTrouble;
             computeBasicSolution();
-            sinceRefactor = 0;
+        } else if (++sinceCheck >= kResidCheckInterval) {
+            sinceCheck = 0;
+            if (solutionResidual() > kResidTol) {
+                if (!refactorize()) return SolveStatus::NumericalTrouble;
+                computeBasicSolution();
+            }
         }
 
         const double infeas = infeasibilitySum();
@@ -247,7 +389,7 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
             for (int i = 0; i < m_; ++i) measure += cost_[basic_[i]] * xb_[i];
             const int tot = n_ + m_;
             for (int j = 0; j < tot; ++j)
-                if (vstat_[j] != Basic && cost_[j] != 0.0)
+                if (vstat_[j] != VStat::Basic && cost_[j] != 0.0)
                     measure += cost_[j] * nonbasicValue(j);
         }
         if (measure < lastMeasure - 1e-10) {
@@ -270,39 +412,10 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
         lastMeasure = measure;
 
         // Pricing: pick entering variable.
-        int enter = -1;
-        int sigma = 0;  // +1: entering increases, -1: decreases
-        double bestScore = phase1 ? -kOptTol : -kOptTol;
-        const int tot = n_ + m_;
-        for (int j = 0; j < tot; ++j) {
-            if (vstat_[j] == Basic) continue;
-            const double cj = phase1 ? 0.0 : costOf(j);
-            const double d = cj - columnDot(j, y);
-            int sig = 0;
-            double score = 0.0;
-            if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && d < -kOptTol) {
-                sig = 1;
-                score = d;
-            } else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
-                       d > kOptTol) {
-                sig = -1;
-                score = -d;
-            } else {
-                continue;
-            }
-            if (bland) {
-                enter = j;
-                sigma = sig;
-                break;
-            }
-            if (score < bestScore) {
-                bestScore = score;
-                enter = j;
-                sigma = sig;
-            }
-        }
+        int sigma = 0;
+        const int enter = pricePrimal(phase1, y, perturb, bland, sigma);
         if (enter < 0) {
-            // No improving direction.
+            // No improving direction anywhere.
             if (phase1) return SolveStatus::Infeasible;
             if (!perturb.empty()) {
                 // Perturbed-optimal: drop the perturbation and continue
@@ -316,32 +429,32 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
             return SolveStatus::Optimal;
         }
 
-        ftran(enter, w);
+        ftranColumn(enter, w);
 
-        // Ratio test: entering moves by t >= 0 in direction sigma;
-        // basic values change by -sigma * w * t.
-        double tMax = kInf;
-        int leaveRow = -1;
-        VStat leaveTo = AtLower;
-        // Bound flip of the entering variable itself.
-        if (lb_[enter] > -kInf && ub_[enter] < kInf)
-            tMax = ub_[enter] - lb_[enter];
-        for (int i = 0; i < m_; ++i) {
+        // Two-pass ratio test: entering moves by t >= 0 in direction sigma;
+        // basic values change by -sigma * w * t. Pass 1 finds the tightest
+        // ratio; pass 2 picks, among rows blocking within a small tolerance
+        // of it, the largest |pivot| (lowest basic index in Bland mode).
+        // Preferring big pivots on degenerate ties is what keeps the eta
+        // file well conditioned: always taking the first ~0-step row can
+        // chain 1e-9-sized pivots until B^{-1} (and the duals priced
+        // through it) are pure noise.
+        auto rowRatio = [&](int i, double& ti, VStat& to) {
             const double delta = -sigma * w[i];
-            if (std::fabs(delta) < kPivotTol) continue;
+            ti = kInf;
+            to = VStat::AtLower;
+            if (std::fabs(delta) < kPivotTol) return;
             const int j = basic_[i];
             const bool belowLb = xb_[i] < lb_[j] - kFeasTol;
             const bool aboveUb = xb_[i] > ub_[j] + kFeasTol;
-            double ti = kInf;
-            VStat to = AtLower;
             if (delta > 0.0) {
                 // basic value increases
                 if (belowLb) {
                     ti = (lb_[j] - xb_[i]) / delta;  // reaches feasibility
-                    to = AtLower;
+                    to = VStat::AtLower;
                 } else if (!aboveUb && ub_[j] < kInf) {
                     ti = (ub_[j] - xb_[i]) / delta;
-                    to = AtUpper;
+                    to = VStat::AtUpper;
                 }
                 // above-ub basics moving further up never block (phase 1
                 // accounts for their worsening in the reduced costs)
@@ -350,22 +463,51 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
                 // basic value decreases
                 if (aboveUb) {
                     ti = (ub_[j] - xb_[i]) / delta;
-                    to = AtUpper;
+                    to = VStat::AtUpper;
                 } else if (!belowLb && lb_[j] > -kInf) {
                     ti = (lb_[j] - xb_[i]) / delta;
-                    to = AtLower;
+                    to = VStat::AtLower;
                 }
                 if (belowLb) ti = kInf;
             }
-            if (ti < -1e-12) ti = 0.0;
-            if (ti < tMax - 1e-12 ||
-                (bland && leaveRow >= 0 && std::fabs(ti - tMax) <= 1e-12 &&
-                 basic_[i] < basic_[leaveRow])) {
-                tMax = ti;
+            if (ti < 0.0) ti = 0.0;
+        };
+        // Pass 1: tightest ratio (bound flip of the entering variable
+        // itself included).
+        double tLimit = kInf;
+        if (lb_[enter] > -kInf && ub_[enter] < kInf)
+            tLimit = ub_[enter] - lb_[enter];
+        for (int i = 0; i < m_; ++i) {
+            double ti;
+            VStat to;
+            rowRatio(i, ti, to);
+            if (ti < tLimit) tLimit = ti;
+        }
+        // Pass 2: best blocking row within tolerance of the limit.
+        const double tTol = 1e-9 + 1e-7 * std::min(tLimit, 1.0);
+        double tMax = tLimit;
+        int leaveRow = -1;
+        VStat leaveTo = VStat::AtLower;
+        double bestPivot = 0.0;
+        for (int i = 0; i < m_; ++i) {
+            double ti;
+            VStat to;
+            rowRatio(i, ti, to);
+            if (ti > tLimit + tTol) continue;
+            if (bland) {
+                if (leaveRow < 0 || basic_[i] < basic_[leaveRow]) {
+                    leaveRow = i;
+                    leaveTo = to;
+                    tMax = ti;
+                }
+            } else if (std::fabs(w[i]) > bestPivot) {
+                bestPivot = std::fabs(w[i]);
                 leaveRow = i;
                 leaveTo = to;
+                tMax = ti;
             }
         }
+        if (leaveRow >= 0) tMax = std::min(tMax, tLimit);
 
         if (tMax >= kInf) {
             if (phase1) {
@@ -379,10 +521,23 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
         if (leaveRow < 0) {
             // Bound flip: entering variable moves to its other bound; the
             // basic values shift by -sigma*w*t (incremental).
-            vstat_[enter] = (sigma > 0) ? AtUpper : AtLower;
+            vstat_[enter] = (sigma > 0) ? VStat::AtUpper : VStat::AtLower;
             for (int i = 0; i < m_; ++i) xb_[i] -= sigma * w[i] * tMax;
             continue;
         }
+
+        // Devex reference-weight update (cheap variant): the entering
+        // column's exact steepest-edge weight ||B^{-1} a_q||^2 is a free
+        // byproduct of the FTRAN; the leaving variable inherits it scaled
+        // by the pivot. Other weights stay stale until the next reset.
+        double wNorm2 = 0.0;
+        for (int i = 0; i < m_; ++i) wNorm2 += w[i] * w[i];
+        const double alphaR = w[leaveRow];
+        const double gammaQ = std::max(devex_[enter], wNorm2);
+        const int leaveVar = basic_[leaveRow];
+        devex_[leaveVar] = std::max(1.0, gammaQ / (alphaR * alphaR));
+        devex_[enter] = 1.0;
+        if (devex_[leaveVar] > kDevexReset) resetDevex();
 
         const double enterValue = nonbasicValue(enter) + sigma * tMax;
         pivot(enter, leaveRow, w, enterValue, leaveTo);
@@ -390,20 +545,52 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
 }
 
 SolveStatus SimplexSolver::dualSimplex() {
-    std::vector<double> cb(m_), y, w;
+    ensureCsc();
+    const int tot = n_ + m_;
+    std::vector<double> cb(m_), y, w, rho;
+    struct DualCand {
+        int j;
+        double alpha, ratio;
+    };
+    std::vector<DualCand> cand;
+    std::vector<std::pair<int, double>> alphas;  // (j, rho.a_j), all nonbasic
+    std::vector<double> alphaAcc(tot, 0.0);      // scatter accumulator
+    std::vector<int> touched;
     long iters = 0;
-    int sinceRefactor = 0;
+    int sinceCheck = 0;
     bool bland = false;
     int stall = 0;
     double lastInfeas = kInf;
 
+    // Reduced costs are maintained incrementally across pivots (the rho row
+    // used by the ratio test doubles as the dual update direction), so the
+    // per-iteration full BTRAN for y disappears; a refactorization recomputes
+    // them from scratch, which also clears accumulated drift.
+    std::vector<double> d(tot, 0.0);
+    auto recomputeDuals = [&]() {
+        for (int i = 0; i < m_; ++i) cb[i] = cost_[basic_[i]];
+        priceDuals(cb, y);
+        for (int j = 0; j < tot; ++j)
+            d[j] = (vstat_[j] == VStat::Basic)
+                       ? 0.0
+                       : cost_[j] - columnDot(j, y);
+    };
+    recomputeDuals();
+
     while (true) {
         if (++iters > iterLimit_) return SolveStatus::IterLimit;
         ++totalIters_;
-        if (++sinceRefactor >= kRefactorInterval) {
+        if (eta_.size() > m_ + kMaxExtraEtas) {
             if (!refactorize()) return SolveStatus::NumericalTrouble;
             computeBasicSolution();
-            sinceRefactor = 0;
+            recomputeDuals();
+        } else if (++sinceCheck >= kResidCheckInterval) {
+            sinceCheck = 0;
+            if (solutionResidual() > kResidTol) {
+                if (!refactorize()) return SolveStatus::NumericalTrouble;
+                computeBasicSolution();
+                recomputeDuals();
+            }
         }
 
         // Select leaving row: maximum primal bound violation.
@@ -442,48 +629,84 @@ SolveStatus SimplexSolver::dualSimplex() {
         }
         lastInfeas = infeas;
 
-        // Reduced costs wrt real objective.
-        for (int i = 0; i < m_; ++i) cb[i] = cost_[basic_[i]];
-        priceDuals(cb, y);
-
-        // Row r of B^{-1} * A over nonbasic columns.
-        const std::vector<double>& brow = binv_[leaveRow];
+        // Row leaveRow of B^{-1} A over nonbasic columns: rho = B^{-T} e_r,
+        // then alpha_j = rho . a_j. One sparse BTRAN replaces the dense
+        // B^{-1} row lookup of the old engine.
+        rho.assign(m_, 0.0);
+        rho[leaveRow] = 1.0;
+        eta_.btran(rho);
         const int leaveVar = basic_[leaveRow];
         const double target = leaveToUpper ? ub_[leaveVar] : lb_[leaveVar];
         // Leaving basic must move toward target:
         //   xb_r changes by -alpha_j * dz_j for entering j.
         const bool needIncrease = !leaveToUpper;  // below lb -> increase
 
-        int enter = -1;
-        double bestRatio = kInf;
-        int enterSigma = 0;
-        const int tot = n_ + m_;
-        for (int j = 0; j < tot; ++j) {
-            if (vstat_[j] == Basic) continue;
-            const double alpha = columnDot(j, brow);
-            if (std::fabs(alpha) < kPivotTol) continue;
-            int sig = 0;
+        // Two-pass dual ratio test (same rationale as the primal one: on
+        // tied ratios take the largest |alpha| so the appended eta stays
+        // well conditioned).
+        auto dualEligible = [&](int j, double alpha) {
             // dz_j = sig * t (t>0); xb_r changes by -alpha * sig * t.
             if (needIncrease) {
-                if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && alpha < 0)
-                    sig = 1;
-                else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
-                         alpha > 0)
-                    sig = -1;
+                if ((vstat_[j] == VStat::AtLower ||
+                     vstat_[j] == VStat::FreeZero) &&
+                    alpha < 0)
+                    return 1;
+                if ((vstat_[j] == VStat::AtUpper ||
+                     vstat_[j] == VStat::FreeZero) &&
+                    alpha > 0)
+                    return -1;
             } else {
-                if ((vstat_[j] == AtLower || vstat_[j] == FreeZero) && alpha > 0)
-                    sig = 1;
-                else if ((vstat_[j] == AtUpper || vstat_[j] == FreeZero) &&
-                         alpha < 0)
-                    sig = -1;
+                if ((vstat_[j] == VStat::AtLower ||
+                     vstat_[j] == VStat::FreeZero) &&
+                    alpha > 0)
+                    return 1;
+                if ((vstat_[j] == VStat::AtUpper ||
+                     vstat_[j] == VStat::FreeZero) &&
+                    alpha < 0)
+                    return -1;
             }
-            if (sig == 0) continue;
-            const double d = cost_[j] - columnDot(j, y);
-            const double ratio = std::fabs(d) / std::fabs(alpha);
-            if (ratio < bestRatio - 1e-12) {
-                bestRatio = ratio;
-                enter = j;
-                enterSigma = sig;
+            return 0;
+        };
+        // alpha_j for every column hit by rho, via one CSR scatter: touches
+        // only the nonzeros of rows where rho != 0 instead of dotting rho
+        // against all tot columns.
+        cand.clear();
+        alphas.clear();
+        touched.clear();
+        for (int i = 0; i < m_; ++i) {
+            const double ri = rho[i];
+            if (ri == 0.0) continue;
+            for (int p = csrPtr_[i]; p < csrPtr_[i + 1]; ++p) {
+                const int j = csrCol_[p];
+                if (alphaAcc[j] == 0.0) touched.push_back(j);
+                alphaAcc[j] += ri * csrVal_[p];
+            }
+        }
+        double bestRatio = kInf;
+        for (int j : touched) {
+            const double alpha = alphaAcc[j];
+            alphaAcc[j] = 0.0;  // leave the accumulator clean for next pivot
+            if (alpha == 0.0 || vstat_[j] == VStat::Basic) continue;
+            alphas.emplace_back(j, alpha);  // for the incremental d update
+            if (std::fabs(alpha) < kPivotTol) continue;
+            if (dualEligible(j, alpha) == 0) continue;
+            const double ratio = std::fabs(d[j]) / std::fabs(alpha);
+            if (ratio < bestRatio) bestRatio = ratio;
+            cand.push_back({j, alpha, ratio});
+        }
+        int enter = -1;
+        double enterAlpha = 0.0;
+        const double ratioTol = 1e-9 + 1e-7 * std::min(bestRatio, 1.0);
+        for (const DualCand& c : cand) {
+            if (c.ratio > bestRatio + ratioTol) continue;
+            if (bland) {
+                if (enter < 0 || c.j < enter) {
+                    enter = c.j;
+                    enterAlpha = c.alpha;
+                }
+            } else if (std::fabs(c.alpha) > std::fabs(enterAlpha)) {
+                enterAlpha = c.alpha;
+                enter = c.j;
             }
         }
         if (enter < 0) {
@@ -491,13 +714,22 @@ SolveStatus SimplexSolver::dualSimplex() {
             return SolveStatus::Infeasible;
         }
 
-        const double alphaE = columnDot(enter, brow);
+        const double alphaE = enterAlpha;
         const double dz = (xb_[leaveRow] - target) / alphaE;
-        // Guard direction consistency; tiny reversed steps are degenerate.
-        (void)enterSigma;
-        ftran(enter, w);
+        ftranColumn(enter, w);
         const double enterValue = nonbasicValue(enter) + dz;
-        pivot(enter, leaveRow, w, enterValue, leaveToUpper ? AtUpper : AtLower);
+
+        // Incremental dual update: d'_j = d_j - theta * alpha_j with
+        // theta = d_enter / alpha_enter. The leaving variable has
+        // alpha = rho . a_leaveVar = e_r^T e_r = 1, so it lands at -theta.
+        const double theta = d[enter] / alphaE;
+        if (theta != 0.0)
+            for (const auto& [j, a] : alphas) d[j] -= theta * a;
+        d[enter] = 0.0;
+        d[leaveVar] = -theta;
+
+        pivot(enter, leaveRow, w, enterValue,
+              leaveToUpper ? VStat::AtUpper : VStat::AtLower);
     }
 }
 
@@ -513,6 +745,7 @@ bool hasCrossedBounds(const std::vector<double>& lb,
 
 SolveStatus SimplexSolver::solve() {
     if (hasCrossedBounds(lb_, ub_)) return SolveStatus::Infeasible;
+    ensureCsc();
     setupSlackBasis();
     SolveStatus st = primalSimplex(/*phase1Allowed=*/true);
     if (st == SolveStatus::NumericalTrouble) {
@@ -525,23 +758,6 @@ SolveStatus SimplexSolver::solve() {
 
 SolveStatus SimplexSolver::addRowsAndResolve(const std::vector<Row>& rows) {
     if (rows.empty()) return resolve();
-    if (!basisValid_) {
-        // No warm basis: just extend the problem and solve fresh.
-        for (const Row& r : rows) {
-            const int i = m_;
-            for (const auto& [j, v] : r.coefs)
-                if (v != 0.0) cols_[j].entries.emplace_back(i, v);
-            SparseCol slack;
-            slack.entries.emplace_back(i, -1.0);
-            cols_.push_back(std::move(slack));
-            cost_.push_back(0.0);
-            lb_.push_back(r.lhs);
-            ub_.push_back(r.rhs);
-            ++m_;
-        }
-        return solve();
-    }
-
     const int mOld = m_;
     for (std::size_t k = 0; k < rows.size(); ++k) {
         const Row& r = rows[k];
@@ -556,38 +772,24 @@ SolveStatus SimplexSolver::addRowsAndResolve(const std::vector<Row>& rows) {
         cost_.push_back(0.0);
         lb_.push_back(r.lhs);
         ub_.push_back(r.rhs);
-        vstat_.push_back(Basic);
     }
-    const int mNew = mOld + static_cast<int>(rows.size());
+    m_ = mOld + static_cast<int>(rows.size());
+    cscDirty_ = true;
 
-    // Extend B^{-1}:  B_new = [[B, 0], [G, -I]]  =>
-    //                 B_new^{-1} = [[B^{-1}, 0], [G B^{-1}, -I]]
-    // where G holds the new-row coefficients of the old basic columns.
-    for (int i = 0; i < mOld; ++i) binv_[i].resize(mNew, 0.0);
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-        std::vector<double> gRow(mNew, 0.0);
-        // g over old basic variables: structural coefs only (old slacks have
-        // no entries in new rows).
-        std::vector<double> g(mOld, 0.0);
-        for (const auto& [j, v] : rows[k].coefs) {
-            if (vstat_[j] == Basic) {
-                for (int p = 0; p < mOld; ++p)
-                    if (basic_[p] == j) {
-                        g[p] += v;
-                        break;
-                    }
-            }
-        }
-        for (int c = 0; c < mOld; ++c) {
-            double s = 0.0;
-            for (int p = 0; p < mOld; ++p) s += g[p] * binv_[p][c];
-            gRow[c] = s;
-        }
-        gRow[mOld + k] = -1.0;
-        binv_.push_back(std::move(gRow));
-        basic_.push_back(n_ + mOld + static_cast<int>(k));
+    if (!basisValid_) return solve();
+
+    // Extend the basis with the new rows' slacks (B_new = [[B,0],[G,-I]] is
+    // nonsingular whenever B is) and refactorize; the dual simplex then
+    // drives out any violated new slacks.
+    for (int i = mOld; i < m_; ++i) {
+        vstat_.push_back(VStat::Basic);
+        basic_.push_back(n_ + i);
     }
-    m_ = mNew;
+    devex_.resize(static_cast<std::size_t>(n_) + m_, 1.0);
+    if (!refactorize()) {
+        setupSlackBasis();
+        return primalSimplex(true);
+    }
     computeBasicSolution();
     SolveStatus st = dualSimplex();
     if (st == SolveStatus::NumericalTrouble || st == SolveStatus::IterLimit) {
@@ -600,12 +802,12 @@ SolveStatus SimplexSolver::addRowsAndResolve(const std::vector<Row>& rows) {
 void SimplexSolver::changeBounds(int col, double lb, double ub) {
     lb_[col] = lb;
     ub_[col] = ub;
-    if (!basisValid_ || vstat_[col] == Basic) return;
+    if (!basisValid_ || vstat_[col] == VStat::Basic) return;
     // Re-snap nonbasic status to a consistent finite bound.
-    if (vstat_[col] == AtLower && lb <= -kInf)
-        vstat_[col] = (ub < kInf) ? AtUpper : FreeZero;
-    else if (vstat_[col] == AtUpper && ub >= kInf)
-        vstat_[col] = (lb > -kInf) ? AtLower : FreeZero;
+    if (vstat_[col] == VStat::AtLower && lb <= -kInf)
+        vstat_[col] = (ub < kInf) ? VStat::AtUpper : VStat::FreeZero;
+    else if (vstat_[col] == VStat::AtUpper && ub >= kInf)
+        vstat_[col] = (lb > -kInf) ? VStat::AtLower : VStat::FreeZero;
 }
 
 SolveStatus SimplexSolver::resolve() {
@@ -620,12 +822,92 @@ SolveStatus SimplexSolver::resolve() {
     return st;
 }
 
+Basis SimplexSolver::basis() const {
+    Basis b;
+    if (!basisValid_) return b;
+    b.cols = n_;
+    b.rows = m_;
+    b.status.assign(vstat_.begin(), vstat_.end());
+    return b;
+}
+
+bool SimplexSolver::loadBasis(const Basis& b) {
+    if (!b.valid() || b.cols != n_) return false;
+    const int tot = n_ + m_;
+    std::vector<VStat> vs(tot);
+    for (int j = 0; j < n_; ++j) vs[j] = b.status[j];
+    // Rows added since the snapshot get their slack basic; statuses of rows
+    // that no longer exist are dropped.
+    for (int i = 0; i < m_; ++i)
+        vs[n_ + i] = (i < b.rows) ? b.status[b.cols + i] : VStat::Basic;
+    // Snap nonbasic statuses to the *current* bounds (branching may have
+    // changed them since the snapshot was taken).
+    for (int j = 0; j < tot; ++j) {
+        if (vs[j] == VStat::Basic) continue;
+        if (vs[j] == VStat::AtLower && lb_[j] <= -kInf)
+            vs[j] = (ub_[j] < kInf) ? VStat::AtUpper : VStat::FreeZero;
+        else if (vs[j] == VStat::AtUpper && ub_[j] >= kInf)
+            vs[j] = (lb_[j] > -kInf) ? VStat::AtLower : VStat::FreeZero;
+        else if (vs[j] == VStat::FreeZero && lb_[j] > -kInf)
+            vs[j] = VStat::AtLower;
+        else if (vs[j] == VStat::FreeZero && ub_[j] < kInf)
+            vs[j] = VStat::AtUpper;
+    }
+    // The basic set must have exactly m_ members: demote surplus basics
+    // (slacks first, from the back) and promote nonbasic slacks to fill.
+    int nbasic = 0;
+    for (int j = 0; j < tot; ++j)
+        if (vs[j] == VStat::Basic) ++nbasic;
+    auto snapped = [&](int j) {
+        if (lb_[j] > -kInf) return VStat::AtLower;
+        if (ub_[j] < kInf) return VStat::AtUpper;
+        return VStat::FreeZero;
+    };
+    for (int j = tot - 1; j >= n_ && nbasic > m_; --j)
+        if (vs[j] == VStat::Basic) {
+            vs[j] = snapped(j);
+            --nbasic;
+        }
+    for (int j = n_ - 1; j >= 0 && nbasic > m_; --j)
+        if (vs[j] == VStat::Basic) {
+            vs[j] = snapped(j);
+            --nbasic;
+        }
+    for (int i = 0; i < m_ && nbasic < m_; ++i)
+        if (vs[n_ + i] != VStat::Basic) {
+            vs[n_ + i] = VStat::Basic;
+            ++nbasic;
+        }
+    if (nbasic != m_) return false;
+
+    std::vector<int> newBasic;
+    newBasic.reserve(m_);
+    for (int j = 0; j < tot; ++j)
+        if (vs[j] == VStat::Basic) newBasic.push_back(j);
+    std::vector<VStat> savedStat = vstat_;
+    std::vector<int> savedBasic = basic_;
+    vstat_ = std::move(vs);
+    basic_ = std::move(newBasic);
+    if (!refactorize()) {
+        // Singular snapshot (cuts/rows changed underneath): roll back so a
+        // subsequent resolve() can still use whatever basis was held.
+        vstat_ = std::move(savedStat);
+        basic_ = std::move(savedBasic);
+        if (basisValid_ && !refactorize()) basisValid_ = false;
+        return false;
+    }
+    resetDevex();
+    basisValid_ = true;
+    computeBasicSolution();
+    return true;
+}
+
 void SimplexSolver::extractSolution() {
     primalX_.assign(n_, 0.0);
     const int tot = n_ + m_;
     std::vector<double> full(tot, 0.0);
     for (int j = 0; j < tot; ++j)
-        if (vstat_[j] != Basic) full[j] = nonbasicValue(j);
+        if (vstat_[j] != VStat::Basic) full[j] = nonbasicValue(j);
     for (int i = 0; i < m_; ++i) full[basic_[i]] = xb_[i];
     for (int j = 0; j < n_; ++j) primalX_[j] = full[j];
 

@@ -1,4 +1,4 @@
-// Bounded-variable revised simplex (primal phase I/II + dual reoptimize).
+// Sparse revised simplex (primal phase I/II + dual reoptimize).
 //
 // This plays the role CPLEX/SoPlex play for SCIP in the paper: the LP
 // relaxation engine under branch-and-cut. It supports
@@ -6,15 +6,29 @@
 //   * adding rows (cuts) and reoptimizing with the dual simplex,
 //   * changing column bounds (branching) and reoptimizing dually,
 //   * dual values and reduced costs (needed for reduced-cost fixing and
-//     dual-ascent-style bound reasoning in the Steiner solver).
+//     dual-ascent-style bound reasoning in the Steiner solver),
+//   * basis snapshots (basis()/loadBasis()) so the branch-and-bound layer
+//     can warm-start child nodes from their parent's optimal basis and
+//     strong-branching probes can restore the pre-probe state.
 //
-// The basis inverse is kept explicitly (dense) with rank-one pivot updates
-// and periodic refactorization; instances in this project are small enough
-// that the O(m^2)/iteration cost is not the bottleneck.
+// Engine internals (see src/lp/README.md for the full story):
+//   * the constraint matrix is kept both as a dynamic per-column build view
+//     (cheap row appends for cuts) and as a packed CSC copy used by every
+//     hot loop (pricing, FTRAN scatter, dual ratio test);
+//   * the basis inverse is a product-form-inverse eta file (lp/eta.hpp)
+//     with sparse FTRAN/BTRAN instead of an explicit dense B^{-1};
+//   * pricing scans a rotating candidate window (partial pricing) scored by
+//     devex reference weights, falling back to full Dantzig/Bland scans on
+//     degenerate stalls — full scans also certify optimality;
+//   * a periodic residual check against the raw matrix triggers
+//     refactorization before accumulated eta drift can corrupt the
+//     objective; eta-file growth beyond a fill budget does the same.
 #pragma once
 
 #include <vector>
 
+#include "lp/basis.hpp"
+#include "lp/eta.hpp"
 #include "lp/model.hpp"
 
 namespace lp {
@@ -57,6 +71,16 @@ public:
     /// primal solve on numerical trouble).
     SolveStatus resolve();
 
+    // -- basis warm-starts --------------------------------------------------
+    /// Snapshot the current basis. Invalid (empty) if no basis is held.
+    Basis basis() const;
+    /// Restore a snapshot: re-derives row assignment by refactorizing and
+    /// adapts to rows added/removed since the snapshot (new-row slacks go
+    /// basic). Returns false — leaving the solver in a cold state — if the
+    /// column count changed or the implied basis is singular; the caller
+    /// must then solve() from scratch.
+    bool loadBasis(const Basis& b);
+
     // -- solution access (valid after Optimal) ------------------------------
     double objective() const { return obj_; }
     const std::vector<double>& primal() const { return primalX_; }
@@ -67,17 +91,23 @@ public:
     const std::vector<double>& reducedCosts() const { return redCost_; }
 
     long iterations() const { return totalIters_; }
+    /// Basis (re)factorizations performed (slack setups, periodic/residual
+    /// refactorizations, basis loads). Exposed for drift tests and stats.
+    long factorizations() const { return numFactor_; }
     int numRows() const { return m_; }
     int numCols() const { return n_; }
 
     /// Iteration limit per (re)solve; guards against cycling in pathological
     /// cases. Default is generous.
     void setIterLimit(long lim) { iterLimit_ = lim; }
+    long iterLimit() const { return iterLimit_; }
 
 private:
-    enum VStat : unsigned char { AtLower, AtUpper, Basic, FreeZero };
+    using VStat = VarStatus;
 
-    // Column-wise sparse matrix over [structural | slack] variables.
+    // Dynamic per-column build view over [structural | slack] variables;
+    // row appends (cuts) push entries here. Hot loops use the packed CSC
+    // mirror below instead.
     struct SparseCol {
         std::vector<std::pair<int, double>> entries;  // (row, coef)
     };
@@ -89,25 +119,52 @@ private:
     std::vector<double> lb_, ub_;   ///< size n_ + m_
     std::vector<VStat> vstat_;      ///< size n_ + m_
     std::vector<int> basic_;        ///< size m_: variable index basic in row
-    std::vector<std::vector<double>> binv_;  ///< m_ x m_ explicit B^{-1}
     std::vector<double> xb_;        ///< basic variable values
-    std::vector<double> xn_;        ///< cached nonbasic values (all vars)
+
+    // Packed CSC mirror of cols_ (rebuilt lazily after structural changes)
+    // plus a CSR transpose: the dual ratio test scatters one sparse rho row
+    // through the CSR view instead of dotting rho against every column.
+    std::vector<int> cscPtr_;       ///< size n_ + m_ + 1
+    std::vector<int> cscRow_;
+    std::vector<double> cscVal_;
+    std::vector<int> csrPtr_;       ///< size m_ + 1
+    std::vector<int> csrCol_;
+    std::vector<double> csrVal_;
+    bool cscDirty_ = true;
+
+    EtaFile eta_;                   ///< product-form basis inverse
+
+    // Pricing state: devex reference weights + partial-pricing cursor.
+    std::vector<double> devex_;     ///< size n_ + m_
+    int pricingPos_ = 0;
 
     double obj_ = 0.0;
     std::vector<double> primalX_, dualY_, redCost_;
     long totalIters_ = 0;
+    long numFactor_ = 0;
     long iterLimit_ = 200000;
     bool basisValid_ = false;
 
     // -- internals -----------------------------------------------------------
+    void ensureCsc();
     double nonbasicValue(int j) const;
     void computeBasicSolution();
-    bool refactorize();  ///< recompute binv_ from basic_; false if singular
+    bool refactorize();  ///< rebuild the eta file from basic_; false if singular
+    /// Max residual of A x over all rows for the current (incrementally
+    /// updated) solution; large values mean the eta file has drifted.
+    double solutionResidual() const;
     void pivot(int enter, int leaveRow, const std::vector<double>& w,
                double t, VStat enterFrom);
     void priceDuals(const std::vector<double>& cb, std::vector<double>& y) const;
     double columnDot(int j, const std::vector<double>& y) const;
-    void ftran(int j, std::vector<double>& w) const;  ///< w = B^{-1} a_j
+    void ftranColumn(int j, std::vector<double>& w) const;  ///< w = B^{-1} a_j
+    /// Partial pricing: pick an entering variable (devex-scored candidate
+    /// window; full lowest-index scan in Bland mode). Returns -1 if a full
+    /// sweep proves no eligible candidate exists.
+    int pricePrimal(bool phase1, const std::vector<double>& y,
+                    const std::vector<double>& perturb, bool bland,
+                    int& sigma);
+    void resetDevex();
 
     SolveStatus primalSimplex(bool phase1Allowed);
     SolveStatus dualSimplex();

@@ -242,3 +242,40 @@ TEST(CipSolver, PermutationSeedChangesSearchNotResult) {
     // All runs correct; node counts recorded (may or may not differ).
     EXPECT_EQ(nodeCounts.size(), 4u);
 }
+
+TEST(CipWarmStart, ChildNodesReuseParentBasis) {
+    // Best-bound search jumps around the tree, so nearly every node LP
+    // should start from its parent's snapshot rather than cold.
+    Model m = knapsack({3, 5, 7, 9, 11, 6, 4}, {2, 3, 4, 5, 6, 3, 2}, 10);
+    Solver warm;
+    warm.setModel(Model(m));
+    warm.params().setString("nodeselection", "bestbound");
+    ASSERT_EQ(warm.solve(), Status::Optimal);
+    EXPECT_GT(warm.stats().basisWarmStarts, 0)
+        << "no node LP was warm-started from a parent basis";
+
+    // Same search with warm-starts disabled: identical optimum.
+    Solver cold;
+    cold.setModel(std::move(m));
+    cold.params().setString("nodeselection", "bestbound");
+    cold.params().setBool("lp/warmstart", false);
+    ASSERT_EQ(cold.solve(), Status::Optimal);
+    EXPECT_EQ(cold.stats().basisWarmStarts, 0);
+    EXPECT_NEAR(warm.incumbent().obj, cold.incumbent().obj, 1e-6);
+}
+
+TEST(CipBranching, StrongBranchingProbesAndSolves) {
+    Model m = knapsack({4, 7, 9, 11, 6, 13, 5, 8},
+                       {3, 5, 6, 7, 4, 8, 3, 5}, 18);
+    Solver ref;
+    ref.setModel(Model(m));
+    ASSERT_EQ(ref.solve(), Status::Optimal);
+
+    Solver s;
+    s.setModel(std::move(m));
+    s.params().setString("branching", "strong");
+    ASSERT_EQ(s.solve(), Status::Optimal);
+    EXPECT_NEAR(s.incumbent().obj, ref.incumbent().obj, 1e-6);
+    EXPECT_GT(s.stats().strongBranchProbes, 0)
+        << "strong branching rule never probed a candidate";
+}
