@@ -109,14 +109,53 @@ void simplexWarmLoop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 
+/// Sparse-engine variant with a selectable factorization kernel. Emits the
+/// kernel-health counters bench-smoke archives in BENCH_lp.json: simplex
+/// iterations and (re)factorizations per resolve, and the current L+U (or
+/// eta-file) fill at exit.
+void simplexWarmLoopSparse(benchmark::State& state, lp::Factorization kind) {
+    const int n = static_cast<int>(state.range(0));
+    lp::LpModel m = steinerCutLp(n, n, 11);
+    lp::SimplexSolver s;
+    s.setFactorization(kind);
+    s.load(m);
+    if (s.solve() != lp::SolveStatus::Optimal) {
+        state.SkipWithError("baseline solve not optimal");
+        return;
+    }
+    const long iters0 = s.iterations();
+    const long factor0 = s.factorizations();
+    int j = 0;
+    bool down = true;
+    for (auto _ : state) {
+        s.changeBounds(j, 0.0, down ? 0.0 : 1.0);
+        benchmark::DoNotOptimize(s.resolve());
+        if (!down) j = (j + 7) % n;
+        down = !down;
+    }
+    state.SetItemsProcessed(state.iterations());
+    const double resolves = static_cast<double>(std::max<int64_t>(
+        state.iterations(), 1));
+    state.counters["iters_per_resolve"] =
+        static_cast<double>(s.iterations() - iters0) / resolves;
+    state.counters["factor_per_resolve"] =
+        static_cast<double>(s.factorizations() - factor0) / resolves;
+    state.counters["fill"] = static_cast<double>(s.factorFill());
+}
+
 // Sizes span the realistic Steiner-cut range (SteinLib instances have
 // hundreds to thousands of edge columns). The dense engine pays O(m^2) per
-// pivot, so the sparse advantage grows with size: roughly parity at 150,
-// >2x at 300 and ~5x at 600 edges.
+// pivot, so the sparse advantage grows with size; the LU kernel's bounded
+// fill growth is what makes the small end (150) win too.
 void BM_SimplexWarm(benchmark::State& state) {
-    simplexWarmLoop<lp::SimplexSolver>(state);
+    simplexWarmLoopSparse(state, lp::Factorization::LU);
 }
 BENCHMARK(BM_SimplexWarm)->Arg(150)->Arg(300)->Arg(600);
+
+void BM_SimplexWarmPfi(benchmark::State& state) {
+    simplexWarmLoopSparse(state, lp::Factorization::PFI);
+}
+BENCHMARK(BM_SimplexWarmPfi)->Arg(150)->Arg(300)->Arg(600);
 
 void BM_SimplexWarmDense(benchmark::State& state) {
     simplexWarmLoop<lp::DenseSimplexSolver>(state);

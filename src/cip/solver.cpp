@@ -217,6 +217,13 @@ void Solver::buildLp() {
     cutAge_.resize(cutPool_.size(), 0);
     for (ManagedRow& mr : managedRows_)
         mr.lpIndex = lpm.addRow(mr.row);
+    // Basis factorization kernel: sparse LU with Forrest–Tomlin updates by
+    // default; "pfi" selects the product-form eta file (kept for comparison
+    // runs and as a numerical fallback).
+    lp_.setFactorization(
+        params_.getString("lp/factorization", "lu") == "pfi"
+            ? lp::Factorization::PFI
+            : lp::Factorization::LU);
     lp_.load(lpm);
     lpLb_ = curLb_;
     lpUb_ = curUb_;
@@ -231,6 +238,7 @@ lp::SolveStatus Solver::flushPendingCutsToLp() {
     const long before = lp_.iterations();
     const lp::SolveStatus st = lp_.addRowsAndResolve(pendingCuts_);
     stats_.lpIterations += lp_.iterations() - before;
+    stats_.lpFactorizations = lp_.factorizations();
     pendingCost_ += lp_.iterations() - before;
     lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     for (std::size_t k = 0; k < pendingCuts_.size(); ++k) {
@@ -298,6 +306,7 @@ lp::SolveStatus Solver::solveLp() {
     lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     const long used = lp_.iterations() - before;
     stats_.lpIterations += used;
+    stats_.lpFactorizations = lp_.factorizations();
     pendingCost_ += used + 1;
     if (st == lp::SolveStatus::Optimal) lpObj_ = lp_.objective() + model_.objOffset;
     return st;
@@ -655,6 +664,7 @@ int Solver::strongBranchingVar(const std::vector<double>& x) {
             const lp::SolveStatus st = lp_.resolve();
             const long used = lp_.iterations() - before;
             stats_.lpIterations += used;
+            stats_.lpFactorizations = lp_.factorizations();
             pendingCost_ += used + 1;
             ++stats_.strongBranchProbes;
             double gain = 0.0;
@@ -1015,6 +1025,7 @@ std::int64_t Solver::step() {
                 const long before = lp_.iterations();
                 rst = lp_.resolve();
                 stats_.lpIterations += lp_.iterations() - before;
+                stats_.lpFactorizations = lp_.factorizations();
                 pendingCost_ += lp_.iterations() - before;
                 lpDualsFresh_ = (rst == lp::SolveStatus::Optimal);
             }
@@ -1162,6 +1173,8 @@ int Solver::addManagedRow(Row row) {
     if (lpBuilt_) {
         const long before = lp_.iterations();
         const lp::SolveStatus st = lp_.addRowsAndResolve({mr.row});
+        stats_.lpIterations += lp_.iterations() - before;
+        stats_.lpFactorizations = lp_.factorizations();
         pendingCost_ += lp_.iterations() - before;
         lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
         mr.lpIndex = lp_.numRows() - 1;

@@ -46,6 +46,7 @@ struct Stats {
     std::int64_t nodesProcessed = 0;
     std::int64_t nodesCreated = 0;
     std::int64_t lpIterations = 0;
+    std::int64_t lpFactorizations = 0;  ///< basis (re)factorizations in the LP
     std::int64_t cutsAdded = 0;
     std::int64_t solutionsFound = 0;
     int maxDepth = 0;

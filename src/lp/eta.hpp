@@ -64,6 +64,24 @@ public:
         start_.push_back(idx_.size());
     }
 
+    /// Sparse-pattern append: like append(), but only the positions listed
+    /// in pattern are scanned — the caller guarantees w is exactly zero
+    /// everywhere else (as produced by ftranSparse). Refactorization uses
+    /// this to stay O(fill) instead of O(m) per eta.
+    void append(int col, const std::vector<double>& w,
+                const std::vector<int>& pattern) {
+        col_.push_back(col);
+        pivot_.push_back(w[col]);
+        for (int i : pattern) {
+            if (i == col) continue;
+            if (std::fabs(w[i]) > kEtaDropTol) {
+                idx_.push_back(i);
+                val_.push_back(w[i]);
+            }
+        }
+        start_.push_back(idx_.size());
+    }
+
     /// Append a trivial eta with a single diagonal entry (slack basis).
     void appendUnit(int col, double pivot) {
         col_.push_back(col);
@@ -82,6 +100,30 @@ public:
             x[col_[e]] = p;
             for (std::size_t q = start_[e]; q < start_[e + 1]; ++q)
                 x[idx_[q]] -= val_[q] * p;
+        }
+    }
+
+    /// Pattern-tracking FTRAN: same as ftran(), but every position that
+    /// becomes (or starts) nonzero is recorded in pattern and flagged in
+    /// mark. On entry pattern/mark must already describe the nonzeros of x
+    /// (mark[i] != 0 iff i may be nonzero); the caller clears both via the
+    /// pattern afterwards. Keeps PFI-mode refactorization O(fill).
+    void ftranSparse(std::vector<double>& x, std::vector<int>& pattern,
+                     std::vector<char>& mark) const {
+        const std::size_t k = col_.size();
+        for (std::size_t e = 0; e < k; ++e) {
+            double p = x[col_[e]];
+            if (p == 0.0) continue;
+            p /= pivot_[e];
+            x[col_[e]] = p;
+            for (std::size_t q = start_[e]; q < start_[e + 1]; ++q) {
+                const int i = idx_[q];
+                x[i] -= val_[q] * p;
+                if (!mark[i]) {
+                    mark[i] = 1;
+                    pattern.push_back(i);
+                }
+            }
         }
     }
 

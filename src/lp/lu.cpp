@@ -1,0 +1,465 @@
+#include "lp/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lp {
+
+namespace {
+/// Markowitz search examines the active columns whose count is within this
+/// slack of the minimum (capped at kMaxSearchCols) — enough to find a
+/// low-fill stable pivot without rescanning the whole active matrix.
+constexpr int kCountSlack = 1;
+constexpr int kMaxSearchCols = 16;
+}  // namespace
+
+void LuFactor::clear(int m) {
+    m_ = m;
+    valid_ = false;
+    updates_ = 0;
+    lPiv_.clear();
+    lStart_.assign(1, 0);
+    lRow_.clear();
+    lVal_.clear();
+    Udiag_.assign(m, 0.0);
+    // Keep inner-vector capacities across refactorizations: U's sparsity
+    // pattern is stable between consecutive factorizations of a slowly
+    // changing basis, so reusing the buffers makes steady-state
+    // refactorization allocation-free.
+    const int keep = std::min<int>(m, static_cast<int>(Ucol_.size()));
+    Ucol_.resize(m);
+    Urow_.resize(m);
+    for (int i = 0; i < keep; ++i) {
+        Ucol_[i].clear();
+        Urow_[i].clear();
+    }
+    rowOfId_.assign(m, -1);
+    idAtRow_.assign(m, -1);
+    order_.resize(m);
+    posOf_.resize(m);
+    for (int i = 0; i < m; ++i) {
+        order_[i] = i;
+        posOf_[i] = i;
+    }
+    uFill_ = 0;
+    spike_.assign(m, 0.0);
+    spikeValid_ = false;
+    alpha_.assign(m, 0.0);
+}
+
+void LuFactor::FactorWork::reset(int m) {
+    const int keep = std::min<int>(m, static_cast<int>(col.size()));
+    col.resize(m);
+    rowCols.resize(m);
+    urow.resize(m);
+    for (int i = 0; i < keep; ++i) {
+        col[i].clear();
+        rowCols[i].clear();
+        urow[i].clear();
+    }
+    rowCount.assign(m, 0);
+    colCount.assign(m, 0);
+    rowDone.assign(m, 0);
+    colDone.assign(m, 0);
+    pivRow.assign(m, -1);
+    pivSlot.assign(m, -1);
+    pivVal.assign(m, 0.0);
+    acc.assign(m, 0.0);
+    mark.assign(m, 0);
+    seenSlot.assign(m, 0);
+    pattern.clear();
+    cand.clear();
+    singles.clear();
+    idOfSlot.assign(m, -1);
+}
+
+void LuFactor::loadSlack(int m, double diag) {
+    clear(m);
+    for (int i = 0; i < m; ++i) {
+        Udiag_[i] = diag;
+        rowOfId_[i] = i;
+        idAtRow_[i] = i;
+    }
+    valid_ = true;
+}
+
+void LuFactor::eraseEntry(std::vector<std::pair<int, double>>& v, int id) {
+    for (auto it = v.begin(); it != v.end(); ++it) {
+        if (it->first == id) {
+            *it = v.back();
+            v.pop_back();
+            return;
+        }
+    }
+}
+
+void LuFactor::appendLOp(int pivotRow) {
+    lPiv_.push_back(pivotRow);
+    lStart_.push_back(lRow_.size());
+}
+
+bool LuFactor::factorize(const std::vector<int>& basic,
+                         const std::vector<int>& cscPtr,
+                         const std::vector<int>& cscRow,
+                         const std::vector<double>& cscVal,
+                         std::vector<int>& rowOfSlot) {
+    const int m = static_cast<int>(basic.size());
+    clear(m);
+    rowOfSlot.assign(m, -1);
+
+    // Active-matrix working copy, column-wise, plus a row -> columns map.
+    // rowCols may hold stale slots (entries dropped below kLuDropTol keep
+    // their rowCols record); consumers re-verify by scanning the column.
+    work_.reset(m);
+    auto& col = work_.col;
+    auto& rowCols = work_.rowCols;
+    auto& rowCount = work_.rowCount;
+    auto& colCount = work_.colCount;
+    auto& rowDone = work_.rowDone;
+    auto& colDone = work_.colDone;
+    // Singleton-column stack: a column with exactly one active entry is a
+    // zero-fill pivot with a trivially satisfied stability test. Basis
+    // matrices here are near-triangular (slacks + sparse cut columns), so
+    // popping singletons resolves most steps in O(1) and the Markowitz scan
+    // below only runs on the irreducible core. Entries are lazily
+    // validated on pop (a slot may have been pivoted or refilled since).
+    auto& singles = work_.singles;
+    for (int s = 0; s < m; ++s) {
+        const int j = basic[s];
+        for (int p = cscPtr[j]; p < cscPtr[j + 1]; ++p) {
+            const int r = cscRow[p];
+            col[s].push_back({r, cscVal[p]});
+            rowCols[r].push_back(s);
+            ++rowCount[r];
+        }
+        colCount[s] = static_cast<int>(col[s].size());
+        if (colCount[s] == 1) singles.push_back(s);
+    }
+
+    // Per-pivot recordings (translated into final storage on success).
+    auto& urow = work_.urow;  // (slot, val)
+    auto& pivRow = work_.pivRow;
+    auto& pivSlot = work_.pivSlot;
+    auto& pivVal = work_.pivVal;
+
+    auto& acc = work_.acc;
+    auto& mark = work_.mark;
+    auto& pattern = work_.pattern;
+    auto& seenSlot = work_.seenSlot;
+    auto& cand = work_.cand;
+
+    bool ok = true;
+    int t = 0;
+    for (; t < m; ++t) {
+        // --- pivot selection ------------------------------------------
+        int bestSlot = -1, bestRow = -1;
+        double bestVal = 0.0;
+        // Fast path: pop a singleton column (zero Markowitz cost).
+        while (!singles.empty()) {
+            const int s = singles.back();
+            singles.pop_back();
+            if (colDone[s] || colCount[s] != 1) continue;
+            const auto& e = col[s].front();
+            if (std::fabs(e.second) <= kLuPivotTol) continue;
+            bestSlot = s;
+            bestRow = e.first;
+            bestVal = e.second;
+            break;
+        }
+        if (bestSlot < 0) {
+            // Markowitz scan on the irreducible core: sparsest columns
+            // first, full scan only if no stable pivot was found among
+            // them.
+            int minCount = std::numeric_limits<int>::max();
+            for (int s = 0; s < m; ++s) {
+                if (!colDone[s] && colCount[s] > 0 && colCount[s] < minCount)
+                    minCount = colCount[s];
+            }
+            if (minCount == std::numeric_limits<int>::max()) {
+                ok = false;  // every remaining column is (numerically) empty
+                break;
+            }
+            long bestCost = std::numeric_limits<long>::max();
+            for (int round = 0; round < 2 && bestSlot < 0; ++round) {
+                cand.clear();
+                for (int s = 0; s < m; ++s) {
+                    if (colDone[s] || colCount[s] == 0) continue;
+                    if (round == 0) {
+                        if (colCount[s] <= minCount + kCountSlack) {
+                            cand.push_back(s);
+                            if (static_cast<int>(cand.size()) >=
+                                kMaxSearchCols)
+                                break;
+                        }
+                    } else {
+                        cand.push_back(s);
+                    }
+                }
+                for (int s : cand) {
+                    double colmax = 0.0;
+                    for (const auto& e : col[s])
+                        colmax = std::max(colmax, std::fabs(e.second));
+                    if (colmax <= kLuPivotTol) continue;
+                    const double cutoff = kLuMarkowitzTau * colmax;
+                    for (const auto& e : col[s]) {
+                        const double a = std::fabs(e.second);
+                        if (a < cutoff || a <= kLuPivotTol) continue;
+                        const long cost =
+                            static_cast<long>(rowCount[e.first] - 1) *
+                            static_cast<long>(colCount[s] - 1);
+                        if (cost < bestCost ||
+                            (cost == bestCost && a > std::fabs(bestVal))) {
+                            bestCost = cost;
+                            bestSlot = s;
+                            bestRow = e.first;
+                            bestVal = e.second;
+                        }
+                    }
+                }
+            }
+        }
+        if (bestSlot < 0) {
+            ok = false;
+            break;
+        }
+
+        const int r = bestRow, s = bestSlot;
+        const double d = bestVal;
+        pivRow[t] = r;
+        pivSlot[t] = s;
+        pivVal[t] = d;
+        rowOfSlot[s] = r;
+        rowDone[r] = 1;
+        colDone[s] = 1;
+
+        // U row t: remaining entries of pivot row r across active columns.
+        for (int c2 : rowCols[r]) {
+            if (colDone[c2] || seenSlot[c2]) continue;
+            seenSlot[c2] = 1;
+            for (const auto& e : col[c2]) {
+                if (e.first == r) {
+                    urow[t].push_back({c2, e.second});
+                    break;
+                }
+            }
+        }
+        for (const auto& ue : urow[t]) seenSlot[ue.first] = 0;
+        for (int c2 : rowCols[r]) seenSlot[c2] = 0;
+
+        // L column: one elementary op eliminating column s below the pivot.
+        appendLOp(r);
+        for (const auto& e : col[s]) {
+            if (e.first == r) continue;
+            --rowCount[e.first];
+            const double mult = e.second / d;
+            if (std::fabs(mult) <= kLuDropTol) continue;
+            lRow_.push_back(e.first);
+            lVal_.push_back(mult);
+        }
+        lStart_.back() = lRow_.size();
+        const std::size_t lb = lStart_[lStart_.size() - 2];
+        const std::size_t le = lStart_.back();
+
+        // Rank-1 update of every column the pivot row touches.
+        for (const auto& ue : urow[t]) {
+            const int c2 = ue.first;
+            const double u = ue.second;
+            pattern.clear();
+            for (const auto& e : col[c2]) {
+                if (e.first == r) continue;  // pivot row leaves the matrix
+                acc[e.first] = e.second;
+                mark[e.first] = 2;  // pre-existing entry
+                pattern.push_back(e.first);
+            }
+            for (std::size_t q = lb; q < le; ++q) {
+                const int r2 = lRow_[q];
+                acc[r2] -= lVal_[q] * u;
+                if (!mark[r2]) {
+                    mark[r2] = 1;  // fill-in
+                    pattern.push_back(r2);
+                }
+            }
+            col[c2].clear();
+            for (int r2 : pattern) {
+                const bool keep = std::fabs(acc[r2]) > kLuDropTol;
+                if (keep) {
+                    col[c2].push_back({r2, acc[r2]});
+                    if (mark[r2] == 1) {
+                        ++rowCount[r2];
+                        rowCols[r2].push_back(c2);
+                    }
+                } else if (mark[r2] == 2) {
+                    --rowCount[r2];
+                }
+                acc[r2] = 0.0;
+                mark[r2] = 0;
+            }
+            colCount[c2] = static_cast<int>(col[c2].size());
+            if (colCount[c2] == 1) singles.push_back(c2);
+        }
+    }
+
+    if (!ok) {
+        // Leave partial rowOfSlot for the caller's repair path.
+        return false;
+    }
+
+    // Translate recordings into the id-keyed final storage: pivot step t
+    // becomes id t, positions start out equal to ids.
+    auto& idOfSlot = work_.idOfSlot;
+    for (int k = 0; k < m; ++k) idOfSlot[pivSlot[k]] = k;
+    for (int k = 0; k < m; ++k) {
+        Udiag_[k] = pivVal[k];
+        rowOfId_[k] = pivRow[k];
+        idAtRow_[pivRow[k]] = k;
+        for (const auto& ue : urow[k]) {
+            const int idc = idOfSlot[ue.first];
+            Urow_[k].push_back({idc, ue.second});
+            Ucol_[idc].push_back({k, ue.second});
+            ++uFill_;
+        }
+    }
+    valid_ = true;
+    return true;
+}
+
+void LuFactor::ftran(std::vector<double>& x) const {
+    // L stage: apply elementary ops in creation order.
+    const std::size_t ops = lPiv_.size();
+    for (std::size_t e = 0; e < ops; ++e) {
+        const double p = x[lPiv_[e]];
+        if (p == 0.0) continue;
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            x[lRow_[q]] -= lVal_[q] * p;
+    }
+    // U stage: back substitution over pivot positions, descending. Scatters
+    // from position k only touch rows of strictly earlier positions, which
+    // still hold right-hand-side values.
+    for (int k = m_ - 1; k >= 0; --k) {
+        const int id = order_[k];
+        const int r = rowOfId_[id];
+        double v = x[r];
+        if (v != 0.0) {
+            v /= Udiag_[id];
+            for (const auto& e : Ucol_[id]) x[rowOfId_[e.first]] -= e.second * v;
+            x[r] = v;
+        }
+    }
+}
+
+void LuFactor::ftranSpike(std::vector<double>& x) {
+    const std::size_t ops = lPiv_.size();
+    for (std::size_t e = 0; e < ops; ++e) {
+        const double p = x[lPiv_[e]];
+        if (p == 0.0) continue;
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            x[lRow_[q]] -= lVal_[q] * p;
+    }
+    spike_ = x;
+    spikeValid_ = true;
+    for (int k = m_ - 1; k >= 0; --k) {
+        const int id = order_[k];
+        const int r = rowOfId_[id];
+        double v = x[r];
+        if (v != 0.0) {
+            v /= Udiag_[id];
+            for (const auto& e : Ucol_[id]) x[rowOfId_[e.first]] -= e.second * v;
+            x[r] = v;
+        }
+    }
+}
+
+void LuFactor::btran(std::vector<double>& y) const {
+    // Hyper-sparsity shortcut: forward substitution in ascending pivot
+    // order means a position can only become nonzero through strictly
+    // earlier positions, so everything before the first nonzero of y stays
+    // zero and is skipped outright. The dual engine's dominant right-hand
+    // side rho = B^{-T} e_r has a single nonzero, which on average sits
+    // halfway down the order — this one O(m) scan halves the U^T pass.
+    int kStart = 0;
+    while (kStart < m_ && y[rowOfId_[order_[kStart]]] == 0.0) ++kStart;
+    // U^T stage: forward substitution over pivot positions, ascending.
+    for (int k = kStart; k < m_; ++k) {
+        const int id = order_[k];
+        const int r = rowOfId_[id];
+        double s = y[r];
+        for (const auto& e : Ucol_[id]) s -= e.second * y[rowOfId_[e.first]];
+        y[r] = s / Udiag_[id];
+    }
+    // L^T stage: transposed ops in reverse creation order.
+    for (std::size_t e = lPiv_.size(); e-- > 0;) {
+        double s = y[lPiv_[e]];
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            s -= lVal_[q] * y[lRow_[q]];
+        y[lPiv_[e]] = s;
+    }
+}
+
+bool LuFactor::update(int leaveRow) {
+    if (!spikeValid_) {
+        valid_ = false;
+        return false;
+    }
+    spikeValid_ = false;
+
+    const int id0 = idAtRow_[leaveRow];
+    const int t0 = posOf_[id0];
+
+    // Detach row id0 and column id0 from U. The row's entries drive the
+    // eliminations below; the column is about to be replaced by the spike.
+    std::vector<std::pair<int, double>> u = std::move(Urow_[id0]);
+    Urow_[id0].clear();
+    for (const auto& e : u) eraseEntry(Ucol_[e.first], id0);
+    for (const auto& e : Ucol_[id0]) eraseEntry(Urow_[e.first], id0);
+    uFill_ -= static_cast<long>(u.size() + Ucol_[id0].size());
+    Ucol_[id0].clear();
+
+    // Cyclically shifting position t0 to the end leaves the detached row as
+    // the only sub-diagonal row; eliminate it by forward substitution over
+    // positions t0+1..m-1, appending one single-entry row op to L per
+    // surviving multiplier. alpha_ holds the row's current value per id.
+    for (const auto& e : u) alpha_[e.first] = e.second;
+    double delta = spike_[leaveRow];
+    for (int k = t0 + 1; k < m_; ++k) {
+        const int id = order_[k];
+        const double a = alpha_[id];
+        alpha_[id] = 0.0;
+        if (std::fabs(a) <= kLuDropTol) continue;
+        const double mult = a / Udiag_[id];
+        const int pr = rowOfId_[id];
+        lPiv_.push_back(pr);
+        lRow_.push_back(leaveRow);
+        lVal_.push_back(mult);
+        lStart_.push_back(lRow_.size());
+        for (const auto& e : Urow_[id]) alpha_[e.first] -= mult * e.second;
+        delta -= mult * spike_[pr];
+    }
+
+    if (std::fabs(delta) < kLuPivotTol || !std::isfinite(delta)) {
+        valid_ = false;
+        return false;
+    }
+
+    // Insert the spike as the new last column, keyed by the recycled id0.
+    // All its entries sit above the new diagonal by construction.
+    for (int r = 0; r < m_; ++r) {
+        if (r == leaveRow) continue;
+        const double v = spike_[r];
+        if (std::fabs(v) <= kLuDropTol) continue;
+        const int id = idAtRow_[r];
+        Ucol_[id0].push_back({id, v});
+        Urow_[id].push_back({id0, v});
+        ++uFill_;
+    }
+    Udiag_[id0] = delta;
+
+    // Rotate the pivot order: id0 moves from position t0 to the end.
+    order_.erase(order_.begin() + t0);
+    order_.push_back(id0);
+    for (int k = t0; k < m_; ++k) posOf_[order_[k]] = k;
+    ++updates_;
+    return true;
+}
+
+}  // namespace lp

@@ -1,0 +1,150 @@
+// Sparse LU factorization of the simplex basis with Forrest–Tomlin updates.
+//
+// This is the successor of the product-form-inverse eta file (lp/eta.hpp):
+// instead of representing B^{-1} as a growing product of elementary etas —
+// whose update etas densify between refactorizations — the basis is held as
+//
+//     B = L * U            (modulo row and pivot-order permutations)
+//
+// where L is a product of unit-lower-triangular elementary operations and U
+// is a sparse permuted upper triangular matrix stored both column- and
+// row-wise. A simplex pivot performs a Forrest–Tomlin rank-1 update: the
+// entering column's partially solved "spike" replaces the leaving column of
+// U, the leaving pivot moves to the last position, and the sub-diagonal row
+// this creates is eliminated by row operations appended to the L product.
+// Fill growth per update is one sparse column plus one single-entry row
+// operation per eliminated position — bounded by U's own sparsity — instead
+// of one near-dense eta per pivot.
+//
+// Factorization uses Markowitz pivoting: each Gaussian step picks, among a
+// handful of sparsest active columns, the entry minimizing the fill bound
+// (rowcount-1)*(colcount-1) subject to the threshold stability test
+// |a_rc| >= kLuMarkowitzTau * max|a_*c|.
+//
+// Index conventions (shared with SimplexSolver): the factorization assigns
+// every basic column a pivot row; after `factorize` the caller re-permutes
+// its `basic_` array with `rowOfSlot` so that slot == pivot row. From then
+// on `ftran` maps a right-hand side b (indexed by row) to the solution x
+// with x[r] = coefficient of the variable basic in row r, and `btran` maps
+// basic costs (indexed by row) to row duals — exactly the EtaFile contract.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lp {
+
+/// Fill dropped from L/U on creation (products of rounded quantities).
+inline constexpr double kLuDropTol = 1e-13;
+/// Minimum admissible factorization / update pivot magnitude.
+inline constexpr double kLuPivotTol = 1e-11;
+/// Markowitz threshold: a pivot candidate must be at least this fraction of
+/// its column's largest entry.
+inline constexpr double kLuMarkowitzTau = 0.1;
+
+class LuFactor {
+public:
+    /// Reset to an empty, invalid factor of dimension m.
+    void clear(int m);
+
+    int dim() const { return m_; }
+    bool valid() const { return valid_; }
+
+    /// Slack-basis shortcut: B = diag * I (one trivial pivot per row).
+    void loadSlack(int m, double diag);
+
+    /// Factorize the basis whose slot s (s = 0..m-1) holds column basic[s]
+    /// of the CSC matrix. On success fills rowOfSlot[s] with the pivot row
+    /// chosen for slot s (the caller re-permutes its basic array so that
+    /// slot == row). On singularity returns false with rowOfSlot[s] == -1
+    /// for every slot that could not be pivoted — callers can repair the
+    /// basis by substituting slacks of the unused rows and retry.
+    bool factorize(const std::vector<int>& basic,
+                   const std::vector<int>& cscPtr,
+                   const std::vector<int>& cscRow,
+                   const std::vector<double>& cscVal,
+                   std::vector<int>& rowOfSlot);
+
+    /// FTRAN: x <- B^{-1} x (x dense, indexed by row).
+    void ftran(std::vector<double>& x) const;
+
+    /// FTRAN that additionally caches the post-L intermediate (the
+    /// Forrest–Tomlin spike) so an immediately following update() of the
+    /// same column needs no second solve. Used for entering columns.
+    void ftranSpike(std::vector<double>& x);
+
+    /// BTRAN: y <- B^{-T} y (y dense, indexed by row).
+    void btran(std::vector<double>& y) const;
+
+    /// Forrest–Tomlin update: the variable basic in row leaveRow is replaced
+    /// by the column last passed through ftranSpike(). Returns false — and
+    /// invalidates the factor, forcing a refactorization — if no spike is
+    /// cached or the new diagonal is numerically unusable.
+    bool update(int leaveRow);
+
+    /// Stored nonzeros across L ops, U off-diagonals and U diagonals. The
+    /// simplex layer's refactorization policy is driven by the growth of
+    /// this count relative to its value right after factorize().
+    long fill() const {
+        return static_cast<long>(lVal_.size() + uFill_) + m_;
+    }
+    /// Forrest–Tomlin updates absorbed since the last factorization.
+    int updates() const { return updates_; }
+
+private:
+    static void eraseEntry(std::vector<std::pair<int, double>>& v, int id);
+    void appendLOp(int pivotRow);
+    double* udiag() { return Udiag_.data(); }
+
+    int m_ = 0;
+    bool valid_ = false;
+    int updates_ = 0;
+
+    // L: packed pool of elementary row operations, applied in order during
+    // FTRAN: x[row] -= mult * x[pivotRow]. Unit diagonal, no divisions.
+    std::vector<int> lPiv_;            ///< pivot row per op
+    std::vector<std::size_t> lStart_;  ///< entry range per op (size ops+1)
+    std::vector<int> lRow_;            ///< packed target rows
+    std::vector<double> lVal_;         ///< packed multipliers
+
+    // U: keyed by stable pivot id (0..m-1). Position in the pivot order is
+    // indirection through order_/posOf_ so Forrest–Tomlin's cyclic
+    // permutation never renumbers stored entries.
+    std::vector<double> Udiag_;  ///< diagonal per id
+    /// Column id: entries (id2, val) with posOf_[id2] < posOf_[id].
+    std::vector<std::vector<std::pair<int, double>>> Ucol_;
+    /// Row id: entries (id2, val) with posOf_[id2] > posOf_[id].
+    std::vector<std::vector<std::pair<int, double>>> Urow_;
+    std::vector<int> rowOfId_;  ///< pivot row (matrix row index) per id
+    std::vector<int> idAtRow_;  ///< inverse of rowOfId_
+    std::vector<int> order_;    ///< ids in pivot order
+    std::vector<int> posOf_;    ///< position per id
+    long uFill_ = 0;            ///< total Ucol_ (== Urow_) entries
+
+    // Forrest–Tomlin scratch.
+    std::vector<double> spike_;  ///< cached post-L entering column
+    bool spikeValid_ = false;
+    std::vector<double> alpha_;  ///< dense elimination accumulator (by id)
+
+    // Markowitz workspace, persistent across factorizations: warm resolves
+    // refactorize every few dozen pivots, and reallocating ~6 vectors of
+    // vectors per call dominated the factorization cost before this cache
+    // (inner vectors keep their capacity; only sizes are reset per call).
+    struct FactorWork {
+        std::vector<std::vector<std::pair<int, double>>> col;
+        std::vector<std::vector<int>> rowCols;
+        std::vector<std::vector<std::pair<int, double>>> urow;  // (slot, val)
+        std::vector<int> rowCount, colCount;
+        std::vector<char> rowDone, colDone;
+        std::vector<int> pivRow, pivSlot;
+        std::vector<double> pivVal;
+        std::vector<double> acc;
+        std::vector<char> mark, seenSlot;
+        std::vector<int> pattern, cand, singles, idOfSlot;
+        void reset(int m);
+    };
+    FactorWork work_;
+};
+
+}  // namespace lp

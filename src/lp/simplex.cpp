@@ -12,8 +12,11 @@ constexpr double kFeasTol = 1e-7;    // primal feasibility tolerance
 constexpr double kOptTol = 1e-7;     // reduced-cost tolerance
 constexpr double kPivotTol = 1e-9;   // minimum admissible pivot magnitude
 constexpr double kResidTol = 1e-8;   // drift backstop on ||A x||
-constexpr int kResidCheckInterval = 50;  // iterations between residual checks
-constexpr int kMaxExtraEtas = 64;    // update etas tolerated before refactor
+// Fill-ratio refactorization policy: refactorize once the factor holds more
+// than this multiple of (fresh fill + m) nonzeros. Dense-ish updates hit
+// the limit quickly; sparse ones are allowed to chain much longer than the
+// old fixed 64-eta budget.
+constexpr double kRefactorFillGrowth = 2.0;
 constexpr double kDevexReset = 1e12;  // weight overflow -> reference reset
 }  // namespace
 
@@ -24,6 +27,14 @@ const char* toString(SolveStatus s) {
         case SolveStatus::Unbounded: return "unbounded";
         case SolveStatus::IterLimit: return "iterlimit";
         case SolveStatus::NumericalTrouble: return "numerical";
+    }
+    return "?";
+}
+
+const char* toString(Factorization f) {
+    switch (f) {
+        case Factorization::PFI: return "pfi";
+        case Factorization::LU: return "lu";
     }
     return "?";
 }
@@ -119,17 +130,61 @@ void SimplexSolver::setupSlackBasis() {
             vstat_[j] = VStat::FreeZero;
     }
     basic_.resize(m_);
-    eta_.clear(m_);
-    // B = -I for the all-slack basis: one trivial eta per row.
+    // B = -I for the all-slack basis: one trivial pivot per row.
+    if (factKind_ == Factorization::PFI) {
+        eta_.clear(m_);
+        for (int i = 0; i < m_; ++i) eta_.appendUnit(i, -1.0);
+    } else {
+        lu_.loadSlack(m_, -1.0);
+    }
     for (int i = 0; i < m_; ++i) {
         basic_[i] = n_ + i;
         vstat_[n_ + i] = VStat::Basic;
-        eta_.appendUnit(i, -1.0);
     }
     ++numFactor_;
+    resetFactorPolicy();
     resetDevex();
     basisValid_ = true;
     computeBasicSolution();
+}
+
+void SimplexSolver::resetFactorPolicy() {
+    baseFill_ = factorFill();
+    fillLimit_ =
+        static_cast<long>(kRefactorFillGrowth * static_cast<double>(baseFill_ + m_));
+    updateLimit_ = std::max(64, m_);
+    residInterval_ = std::clamp(m_ / 2, 16, 128);
+    updatesSince_ = 0;
+    factorStale_ = false;
+}
+
+void SimplexSolver::factFtran(std::vector<double>& x) const {
+    if (factKind_ == Factorization::PFI)
+        eta_.ftran(x);
+    else
+        lu_.ftran(x);
+}
+
+void SimplexSolver::factBtran(std::vector<double>& y) const {
+    if (factKind_ == Factorization::PFI)
+        eta_.btran(y);
+    else
+        lu_.btran(y);
+}
+
+void SimplexSolver::factUpdate(int leaveRow, const std::vector<double>& w) {
+    if (factKind_ == Factorization::PFI) {
+        // The update eta maps w = B^{-1} a_enter to e_leaveRow.
+        eta_.append(leaveRow, w);
+        ++updatesSince_;
+    } else if (lu_.update(leaveRow)) {
+        ++updatesSince_;
+    } else {
+        // Unusable Forrest–Tomlin pivot: the factor is invalid, but basic_
+        // is already correct — the pivot loop refactorizes before the next
+        // FTRAN/BTRAN touches it.
+        factorStale_ = true;
+    }
 }
 
 void SimplexSolver::computeBasicSolution() {
@@ -144,19 +199,67 @@ void SimplexSolver::computeBasicSolution() {
         for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
             rhs[cscRow_[p]] += cscVal_[p] * v;
     }
-    eta_.ftran(rhs);
+    factFtran(rhs);
     xb_.assign(m_, 0.0);
     for (int i = 0; i < m_; ++i) xb_[i] = -rhs[i];
 }
 
 bool SimplexSolver::refactorize() {
-    // Rebuild the eta file with one Gaussian pivot per basic column.
-    // Columns are processed sparsest-first (a cheap Markowitz surrogate);
-    // each step FTRANs the column through the etas built so far and pivots
-    // on the largest entry among still-unassigned rows. The pivot row
-    // becomes the column's basis position, so basic_ is re-permuted here.
     ensureCsc();
     ++numFactor_;
+    if (factKind_ == Factorization::LU) {
+        auto snapped = [&](int j) {
+            if (lb_[j] > -kInf) return VStat::AtLower;
+            if (ub_[j] < kInf) return VStat::AtUpper;
+            return VStat::FreeZero;
+        };
+        std::vector<int> rowOfSlot;
+        bool ok = lu_.factorize(basic_, cscPtr_, cscRow_, cscVal_, rowOfSlot);
+        if (!ok) {
+            // Singular-basis repair: every slot the factorization could not
+            // pivot gets the slack of a row no pivot claimed (the extended
+            // basis is nonsingular because each slack has a lone -1 in its
+            // own row). Demoted variables go to a finite bound.
+            std::vector<char> used(m_, 0);
+            for (int s = 0; s < m_; ++s)
+                if (rowOfSlot[s] >= 0) used[rowOfSlot[s]] = 1;
+            std::vector<int> freeRows;
+            for (int r = 0; r < m_; ++r)
+                if (!used[r] && vstat_[n_ + r] != VStat::Basic)
+                    freeRows.push_back(r);
+            std::size_t fi = 0;
+            bool repaired = true;
+            for (int s = 0; s < m_; ++s) {
+                if (rowOfSlot[s] >= 0) continue;
+                if (fi >= freeRows.size()) {
+                    repaired = false;
+                    break;
+                }
+                const int r = freeRows[fi++];
+                const int old = basic_[s];
+                vstat_[old] = snapped(old);
+                basic_[s] = n_ + r;
+                vstat_[n_ + r] = VStat::Basic;
+            }
+            if (repaired)
+                ok = lu_.factorize(basic_, cscPtr_, cscRow_, cscVal_,
+                                   rowOfSlot);
+            if (!ok) return false;
+        }
+        std::vector<int> newBasic(m_);
+        for (int s = 0; s < m_; ++s) newBasic[rowOfSlot[s]] = basic_[s];
+        basic_ = std::move(newBasic);
+        resetFactorPolicy();
+        return true;
+    }
+
+    // PFI: rebuild the eta file with one Gaussian pivot per basic column.
+    // Columns are processed sparsest-first (a cheap Markowitz surrogate);
+    // each step FTRANs the column through the etas built so far — tracking
+    // the touched pattern so the work and the appended eta are O(fill), not
+    // O(m) — and pivots on the largest entry among still-unassigned rows.
+    // The pivot row becomes the column's basis position, so basic_ is
+    // re-permuted here.
     std::vector<int> order(m_);
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -166,15 +269,20 @@ bool SimplexSolver::refactorize() {
     std::vector<int> newBasic(m_, -1);
     std::vector<char> rowUsed(m_, 0);
     std::vector<double> w(m_, 0.0);
+    std::vector<int> pattern;
+    std::vector<char> mark(m_, 0);
     for (int k : order) {
         const int j = basic_[k];
-        std::fill(w.begin(), w.end(), 0.0);
-        for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
+        pattern.clear();
+        for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p) {
             w[cscRow_[p]] = cscVal_[p];
-        eta_.ftran(w);
+            mark[cscRow_[p]] = 1;
+            pattern.push_back(cscRow_[p]);
+        }
+        eta_.ftranSparse(w, pattern, mark);
         int r = -1;
         double best = 0.0;
-        for (int i = 0; i < m_; ++i) {
+        for (int i : pattern) {
             if (rowUsed[i]) continue;
             const double a = std::fabs(w[i]);
             if (a > best) {
@@ -183,11 +291,16 @@ bool SimplexSolver::refactorize() {
             }
         }
         if (r < 0 || best < 1e-11) return false;  // singular basis
-        eta_.append(r, w);
+        eta_.append(r, w, pattern);
         newBasic[r] = j;
         rowUsed[r] = 1;
+        for (int i : pattern) {
+            w[i] = 0.0;
+            mark[i] = 0;
+        }
     }
     basic_ = std::move(newBasic);
+    resetFactorPolicy();
     return true;
 }
 
@@ -216,7 +329,7 @@ double SimplexSolver::solutionResidual() const {
 void SimplexSolver::priceDuals(const std::vector<double>& cb,
                                std::vector<double>& y) const {
     y = cb;
-    eta_.btran(y);
+    factBtran(y);
 }
 
 double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
@@ -226,11 +339,14 @@ double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
     return s;
 }
 
-void SimplexSolver::ftranColumn(int j, std::vector<double>& w) const {
+void SimplexSolver::ftranColumn(int j, std::vector<double>& w) {
     w.assign(m_, 0.0);
     for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
         w[cscRow_[p]] = cscVal_[p];
-    eta_.ftran(w);
+    if (factKind_ == Factorization::PFI)
+        eta_.ftran(w);
+    else
+        lu_.ftranSpike(w);  // caches the FT spike for the coming pivot
 }
 
 void SimplexSolver::pivot(int enter, int leaveRow, const std::vector<double>& w,
@@ -242,8 +358,7 @@ void SimplexSolver::pivot(int enter, int leaveRow, const std::vector<double>& w,
     // drift.
     const double dz = enterValue - nonbasicValue(enter);
     for (int i = 0; i < m_; ++i) xb_[i] -= w[i] * dz;
-    // The update eta maps w = B^{-1} a_enter to e_leaveRow.
-    eta_.append(leaveRow, w);
+    factUpdate(leaveRow, w);
     basic_[leaveRow] = enter;
     vstat_[enter] = VStat::Basic;
     vstat_[leaveVar] = leaveTo;
@@ -348,13 +463,14 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
     while (true) {
         if (++iters > iterLimit_) return SolveStatus::IterLimit;
         ++totalIters_;
-        // Drift backstop: refactorize when the eta file has grown past its
-        // budget, or when the periodic residual check detects that the
-        // incrementally updated solution no longer satisfies A x = 0.
-        if (eta_.size() > m_ + kMaxExtraEtas) {
+        // Drift backstop: refactorize when the factor has outgrown its fill
+        // budget (or a failed FT update marked it stale), or when the
+        // periodic residual check detects that the incrementally updated
+        // solution no longer satisfies A x = 0.
+        if (needRefactor()) {
             if (!refactorize()) return SolveStatus::NumericalTrouble;
             computeBasicSolution();
-        } else if (++sinceCheck >= kResidCheckInterval) {
+        } else if (++sinceCheck >= residInterval_) {
             sinceCheck = 0;
             if (solutionResidual() > kResidTol) {
                 if (!refactorize()) return SolveStatus::NumericalTrouble;
@@ -556,6 +672,14 @@ SolveStatus SimplexSolver::dualSimplex() {
     std::vector<std::pair<int, double>> alphas;  // (j, rho.a_j), all nonbasic
     std::vector<double> alphaAcc(tot, 0.0);      // scatter accumulator
     std::vector<int> touched;
+    // Dual devex row weights: gamma[i] approximates ||B^{-T} e_i||^2, the
+    // steepest-edge norm of row i. Selecting the leaving row by
+    // viol^2 / gamma instead of raw violation favors rows whose dual
+    // direction is short, which empirically cuts the pivot count on the
+    // box-bounded cut LPs the tree produces. Weights start at the reference
+    // framework (all 1) each call and are updated from the entering
+    // column's FTRAN, mirroring the primal devex scheme above.
+    std::vector<double> gamma(m_, 1.0);
     long iters = 0;
     int sinceCheck = 0;
     bool bland = false;
@@ -580,11 +704,11 @@ SolveStatus SimplexSolver::dualSimplex() {
     while (true) {
         if (++iters > iterLimit_) return SolveStatus::IterLimit;
         ++totalIters_;
-        if (eta_.size() > m_ + kMaxExtraEtas) {
+        if (needRefactor()) {
             if (!refactorize()) return SolveStatus::NumericalTrouble;
             computeBasicSolution();
             recomputeDuals();
-        } else if (++sinceCheck >= kResidCheckInterval) {
+        } else if (++sinceCheck >= residInterval_) {
             sinceCheck = 0;
             if (solutionResidual() > kResidTol) {
                 if (!refactorize()) return SolveStatus::NumericalTrouble;
@@ -593,25 +717,33 @@ SolveStatus SimplexSolver::dualSimplex() {
             }
         }
 
-        // Select leaving row: maximum primal bound violation.
+        // Select leaving row: largest devex-weighted primal bound violation
+        // viol^2 / gamma. The same scan accumulates the total infeasibility
+        // the stall detector needs, so no separate O(m) infeasibilitySum()
+        // pass runs per iteration.
         int leaveRow = -1;
-        double worst = kFeasTol;
+        double bestScore = 0.0;
+        double infeas = 0.0;
         bool leaveToUpper = false;
         for (int i = 0; i < m_; ++i) {
             const int j = basic_[i];
             const double below = lb_[j] - xb_[i];
             const double above = xb_[i] - ub_[j];
             double viol = std::max(below, above);
+            if (viol <= kFeasTol) continue;
+            infeas += viol;
             if (bland) {
-                if (viol > kFeasTol) {
+                if (leaveRow < 0) {
                     leaveRow = i;
                     leaveToUpper = above > below;
-                    break;
                 }
-            } else if (viol > worst) {
-                worst = viol;
-                leaveRow = i;
-                leaveToUpper = above > below;
+            } else {
+                const double score = viol * viol / gamma[i];
+                if (score > bestScore) {
+                    bestScore = score;
+                    leaveRow = i;
+                    leaveToUpper = above > below;
+                }
             }
         }
         if (leaveRow < 0) {
@@ -619,8 +751,6 @@ SolveStatus SimplexSolver::dualSimplex() {
             // optimality in a handful of iterations).
             return primalSimplex(/*phase1Allowed=*/false);
         }
-
-        const double infeas = infeasibilitySum();
         if (infeas < lastInfeas - 1e-10) {
             stall = 0;
             bland = false;
@@ -634,7 +764,7 @@ SolveStatus SimplexSolver::dualSimplex() {
         // B^{-1} row lookup of the old engine.
         rho.assign(m_, 0.0);
         rho[leaveRow] = 1.0;
-        eta_.btran(rho);
+        factBtran(rho);
         const int leaveVar = basic_[leaveRow];
         const double target = leaveToUpper ? ub_[leaveVar] : lb_[leaveVar];
         // Leaving basic must move toward target:
@@ -718,6 +848,24 @@ SolveStatus SimplexSolver::dualSimplex() {
         const double dz = (xb_[leaveRow] - target) / alphaE;
         ftranColumn(enter, w);
         const double enterValue = nonbasicValue(enter) + dz;
+
+        // Devex weight update from the entering column (the dual analogue
+        // of the primal scheme): rows moved by the pivot inherit the pivot
+        // row's weight scaled by their step, and the pivot row's own weight
+        // shrinks by the pivot element squared.
+        {
+            const double ar = std::fabs(w[leaveRow]) > 1e-12 ? w[leaveRow]
+                                                             : alphaE;
+            const double gammaR = std::max(gamma[leaveRow], 1.0);
+            const double scale = gammaR / (ar * ar);
+            for (int i = 0; i < m_; ++i) {
+                if (w[i] == 0.0 || i == leaveRow) continue;
+                const double cndt = w[i] * w[i] * scale;
+                if (cndt > gamma[i]) gamma[i] = cndt;
+            }
+            gamma[leaveRow] = std::max(scale, 1.0);
+            if (gamma[leaveRow] > kDevexReset) gamma.assign(m_, 1.0);
+        }
 
         // Incremental dual update: d'_j = d_j - theta * alpha_j with
         // theta = d_enter / alpha_enter. The leaving variable has

@@ -15,23 +15,36 @@
 //   * the constraint matrix is kept both as a dynamic per-column build view
 //     (cheap row appends for cuts) and as a packed CSC copy used by every
 //     hot loop (pricing, FTRAN scatter, dual ratio test);
-//   * the basis inverse is a product-form-inverse eta file (lp/eta.hpp)
-//     with sparse FTRAN/BTRAN instead of an explicit dense B^{-1};
+//   * the basis is factorized either as a sparse Markowitz LU with
+//     Forrest–Tomlin updates (lp/lu.hpp, the default) or as a
+//     product-form-inverse eta file (lp/eta.hpp, kept selectable as the
+//     A/B baseline) — both provide sparse FTRAN/BTRAN instead of an
+//     explicit dense B^{-1};
 //   * pricing scans a rotating candidate window (partial pricing) scored by
 //     devex reference weights, falling back to full Dantzig/Bland scans on
 //     degenerate stalls — full scans also certify optimality;
 //   * a periodic residual check against the raw matrix triggers
-//     refactorization before accumulated eta drift can corrupt the
-//     objective; eta-file growth beyond a fill budget does the same.
+//     refactorization before accumulated factor drift can corrupt the
+//     objective; fill growth beyond a ratio of the fresh factorization's
+//     fill (or an update-count cap) does the same.
 #pragma once
 
 #include <vector>
 
 #include "lp/basis.hpp"
 #include "lp/eta.hpp"
+#include "lp/lu.hpp"
 #include "lp/model.hpp"
 
 namespace lp {
+
+/// Basis factorization kernel selector (cip parameter `lp/factorization`).
+enum class Factorization {
+    PFI,  ///< product-form-inverse eta file (one eta per pivot)
+    LU,   ///< Markowitz LU with Forrest–Tomlin updates (default)
+};
+
+const char* toString(Factorization f);
 
 enum class SolveStatus {
     Optimal,
@@ -97,6 +110,21 @@ public:
     int numRows() const { return m_; }
     int numCols() const { return n_; }
 
+    /// Select the basis factorization kernel. Switching kinds invalidates
+    /// any held basis (the next solve is cold); call before load()/solve().
+    void setFactorization(Factorization f) {
+        if (f == factKind_) return;
+        factKind_ = f;
+        basisValid_ = false;
+    }
+    Factorization factorization() const { return factKind_; }
+    /// Current factor fill (L+U nonzeros, or eta-file fill incl. pivots).
+    /// Drives the refactorization policy; exposed for benchmarks/tests.
+    long factorFill() const {
+        return factKind_ == Factorization::PFI ? eta_.fill() + eta_.size()
+                                               : lu_.fill();
+    }
+
     /// Iteration limit per (re)solve; guards against cycling in pathological
     /// cases. Default is generous.
     void setIterLimit(long lim) { iterLimit_ = lim; }
@@ -132,7 +160,21 @@ private:
     std::vector<double> csrVal_;
     bool cscDirty_ = true;
 
-    EtaFile eta_;                   ///< product-form basis inverse
+    // Basis factorization: exactly one of the two kernels is live at a
+    // time, selected by factKind_ and dispatched through fact*() helpers.
+    Factorization factKind_ = Factorization::LU;
+    EtaFile eta_;                   ///< product-form basis inverse (PFI mode)
+    LuFactor lu_;                   ///< Markowitz LU + FT updates (LU mode)
+
+    // Fill-ratio refactorization policy, recomputed after every successful
+    // (re)factorization by resetFactorPolicy(). Replaces the fixed
+    // kMaxExtraEtas / kResidCheckInterval constants.
+    long baseFill_ = 0;      ///< factor fill right after refactorization
+    long fillLimit_ = 0;     ///< refactor when factorFill() exceeds this
+    int updateLimit_ = 0;    ///< ... or after this many updates
+    int updatesSince_ = 0;   ///< pivot updates absorbed since refactor
+    int residInterval_ = 50; ///< iterations between residual drift checks
+    bool factorStale_ = false;  ///< set when an FT update fails mid-pivot
 
     // Pricing state: devex reference weights + partial-pricing cursor.
     std::vector<double> devex_;     ///< size n_ + m_
@@ -149,15 +191,30 @@ private:
     void ensureCsc();
     double nonbasicValue(int j) const;
     void computeBasicSolution();
-    bool refactorize();  ///< rebuild the eta file from basic_; false if singular
+    bool refactorize();  ///< rebuild the factor from basic_; false if singular
+    /// Recompute the fill/update/residual refactorization triggers from the
+    /// fresh factor's fill.
+    void resetFactorPolicy();
+    bool needRefactor() const {
+        return factorStale_ || updatesSince_ >= updateLimit_ ||
+               factorFill() > fillLimit_;
+    }
+    // Kernel dispatch (PFI eta file vs LU).
+    void factFtran(std::vector<double>& x) const;
+    void factBtran(std::vector<double>& y) const;
+    /// Absorb a simplex pivot into the factor. On LU update failure marks
+    /// the factor stale — the pivot loop refactorizes before the next solve.
+    void factUpdate(int leaveRow, const std::vector<double>& w);
     /// Max residual of A x over all rows for the current (incrementally
-    /// updated) solution; large values mean the eta file has drifted.
+    /// updated) solution; large values mean the factor has drifted.
     double solutionResidual() const;
     void pivot(int enter, int leaveRow, const std::vector<double>& w,
                double t, VStat enterFrom);
     void priceDuals(const std::vector<double>& cb, std::vector<double>& y) const;
     double columnDot(int j, const std::vector<double>& y) const;
-    void ftranColumn(int j, std::vector<double>& w) const;  ///< w = B^{-1} a_j
+    /// w = B^{-1} a_j for an entering column; in LU mode this also caches
+    /// the Forrest–Tomlin spike consumed by the subsequent factUpdate().
+    void ftranColumn(int j, std::vector<double>& w);
     /// Partial pricing: pick an entering variable (devex-scored candidate
     /// window; full lowest-index scan in Bland mode). Returns -1 if a full
     /// sweep proves no eligible candidate exists.

@@ -13,6 +13,7 @@
 #include "cip/model.hpp"
 #include "cip/node.hpp"
 #include "cip/params.hpp"
+#include "ug/message.hpp"
 
 namespace ug {
 
@@ -42,6 +43,10 @@ public:
     virtual double dualBound() const = 0;
     virtual int numOpenNodes() const = 0;
     virtual std::int64_t nodesProcessed() const = 0;
+
+    /// Cumulative LP effort on the current subproblem (see ug::LpEffort).
+    /// Base solvers without an LP relaxation report all-zero counters.
+    virtual LpEffort lpEffort() const { return {}; }
 
     /// Best solution found so far (invalid Solution if none).
     virtual const cip::Solution& incumbent() const = 0;

@@ -102,6 +102,13 @@ struct UgStats {
     double rampUpTime = -1.0;         ///< first time all solvers were active
     int racingWinnerSetting = -1;
     long long busyUnits = 0;          ///< total busy work units across solvers
+
+    // LP effort aggregated over all solvers' Terminated reports (plus the
+    // last Status of ranks the failure detector wrote off).
+    long long lpIterations = 0;       ///< simplex iterations
+    long long lpFactorizations = 0;   ///< basis (re)factorizations
+    long long basisWarmStarts = 0;    ///< node LPs hot-started from parent
+    long long strongBranchProbes = 0; ///< strong-branching LP probes
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart

@@ -28,6 +28,25 @@ int LoadCoordinator::aliveCount() const {
     return c;
 }
 
+double LoadCoordinator::frontierWeight(const SolverInfo& si) const {
+    // Open nodes weighted by observed node hardness: a solver whose nodes
+    // average many simplex iterations holds a heavier frontier than one with
+    // the same count of cheap nodes. With no LP data yet (ramp-up, LP-free
+    // base solvers) the weight degrades to the plain open-node count.
+    double avgIters = 1.0;
+    if (si.lpEffort.iterations > 0 && si.nodesProcessed > 0)
+        avgIters = static_cast<double>(si.lpEffort.iterations) /
+                   static_cast<double>(si.nodesProcessed);
+    return static_cast<double>(si.openNodes) * std::max(1.0, avgIters);
+}
+
+void LoadCoordinator::foldLpEffort(const LpEffort& e) {
+    stats_.lpIterations += e.iterations;
+    stats_.lpFactorizations += e.factorizations;
+    stats_.basisWarmStarts += e.basisWarmStarts;
+    stats_.strongBranchProbes += e.strongBranchProbes;
+}
+
 void LoadCoordinator::noteActivity() {
     const int act = activeCount();
     const double now = comm_.now(0);
@@ -130,15 +149,31 @@ void LoadCoordinator::updateCollectMode() {
         pool_.size() < target && (idle > 0 || pool_.size() < target / 2 + 1);
 
     if (wantCollect) {
-        // Ask the solvers holding the heaviest frontiers to share.
+        // Ask the solvers holding the heaviest frontiers to share — heaviest
+        // in LP effort, not raw node count: nodes that cost many simplex
+        // iterations are the ones worth spreading across ranks. Engage
+        // suppliers in weight order only until their surplus (every supplier
+        // keeps one node for itself) covers the pool deficit, so cheap
+        // frontiers keep their warm-start locality.
+        std::vector<int> cands;
         for (int r = 1; r <= cfg_.numSolvers; ++r) {
-            SolverInfo& si = info_[r];
-            if (si.active && !si.collecting && si.openNodes >= 2) {
-                Message m;
-                m.tag = Tag::StartCollecting;
-                comm_.send(0, r, m);
-                si.collecting = true;
-            }
+            const SolverInfo& si = info_[r];
+            if (si.active && !si.collecting && si.openNodes >= 2)
+                cands.push_back(r);
+        }
+        std::stable_sort(cands.begin(), cands.end(), [&](int a, int b) {
+            return frontierWeight(info_[a]) > frontierWeight(info_[b]);
+        });
+        const long long deficit = static_cast<long long>(target) -
+                                  static_cast<long long>(pool_.size());
+        long long expected = 0;
+        for (int r : cands) {
+            Message m;
+            m.tag = Tag::StartCollecting;
+            comm_.send(0, r, m);
+            info_[r].collecting = true;
+            expected += info_[r].openNodes - 1;
+            if (expected >= deficit) break;
         }
     } else if (pool_.size() >= 2 * target + 2) {
         for (int r = 1; r <= cfg_.numSolvers; ++r) {
@@ -181,6 +216,11 @@ void LoadCoordinator::pickRacingWinner() {
     if (!racingPhase_ || racingWinnerPicked_) return;
     racingWinnerPicked_ = true;
     // Winner criterion (paper): combination of lower bound and open nodes.
+    // Bound ties break on the LP-effort-weighted frontier (open nodes times
+    // the racer's average simplex iterations per node) rather than the raw
+    // count: the winner's tree is the one the whole run inherits, and hard
+    // nodes are worth more kept inside a warm tree than re-derived from a
+    // transferred description.
     int winner = -1;
     for (int r = 1; r <= cfg_.numSolvers; ++r) {
         const SolverInfo& si = info_[r];
@@ -188,7 +228,7 @@ void LoadCoordinator::pickRacingWinner() {
         if (winner < 0 ||
             si.dualBound > info_[winner].dualBound + 1e-12 ||
             (std::fabs(si.dualBound - info_[winner].dualBound) <= 1e-12 &&
-             si.openNodes > info_[winner].openNodes))
+             frontierWeight(si) > frontierWeight(info_[winner])))
             winner = r;
     }
     if (winner < 0) return;  // everyone already finished
@@ -256,6 +296,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.openNodes = m.openNodes;
             si.nodesProcessed = m.nodesProcessed;
             si.busyUnits = m.busyCost;
+            si.lpEffort = m.lpEffort;
             if (racingPhase_ && !racingWinnerPicked_ &&
                 m.openNodes >= cfg_.racingOpenNodesLimit)
                 pickRacingWinner();
@@ -293,6 +334,8 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.assigned.reset();
             stats_.totalNodesProcessed += m.nodesProcessed;
             stats_.busyUnits += m.busyCost;
+            foldLpEffort(m.lpEffort);
+            si.lpEffort = {};
             si.dualBound = m.dualBound;
             // Stop the remaining racers.
             for (int rr = 1; rr <= cfg_.numSolvers; ++rr) {
@@ -321,6 +364,8 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.collecting = false;
             stats_.totalNodesProcessed += m.nodesProcessed;
             stats_.busyUnits += m.busyCost;
+            foldLpEffort(m.lpEffort);
+            si.lpEffort = {};
             adoptSolution(m.sol);
             if (m.completed) {
                 si.assigned.reset();
@@ -423,8 +468,10 @@ void LoadCoordinator::checkHeartbeats(double now) {
         // report will never come (and is ignored if it does).
         stats_.totalNodesProcessed += si.nodesProcessed;
         stats_.busyUnits += si.busyUnits;
+        foldLpEffort(si.lpEffort);
         si.nodesProcessed = 0;
         si.busyUnits = 0;
+        si.lpEffort = {};
         si.openNodes = 0;
         if (si.assigned && !racingPhase_ && !stopping_) {
             // The requeue-on-failure invariant: the victim's primitive root
@@ -471,12 +518,15 @@ void LoadCoordinator::onTimer(double now) {
         nextLog_ = now + cfg_.logInterval;
         const double primal = best_.valid() ? best_.obj : cip::kInf;
         const double dual = globalDualBound();
+        long long lpIt = stats_.lpIterations;
+        for (int r = 1; r <= cfg_.numSolvers; ++r)
+            if (info_[r].active) lpIt += info_[r].lpEffort.iterations;
         std::printf(
             "[LC %8.3fs] active %d/%d pool %zu primal %s dual %g trans %lld "
-            "coll %lld\n",
+            "coll %lld lpIt %lld\n",
             now, activeCount(), cfg_.numSolvers, pool_.size(),
             primal < cip::kInf ? std::to_string(primal).c_str() : "-", dual,
-            stats_.transferredNodes, stats_.collectedNodes);
+            stats_.transferredNodes, stats_.collectedNodes, lpIt);
         std::fflush(stdout);
     }
     if (racingPhase_ && !racingWinnerPicked_ &&

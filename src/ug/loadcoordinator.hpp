@@ -61,6 +61,7 @@ private:
         long long openNodes = 0;
         long long nodesProcessed = 0;  ///< last reported (running subproblem)
         long long busyUnits = 0;
+        LpEffort lpEffort;  ///< last reported (running subproblem)
         int settingId = -1;
         std::optional<cip::SubproblemDesc> assigned;  ///< for checkpointing
     };
@@ -68,6 +69,12 @@ private:
     void assignNodes();
     void updateCollectMode();
     void pickRacingWinner();
+    /// Effort-weighted frontier size of a solver: open nodes scaled by the
+    /// average simplex iterations its nodes cost so far. The unit of "load"
+    /// used to pick racing winners and collect-mode suppliers.
+    double frontierWeight(const SolverInfo& si) const;
+    /// Fold a final LP-effort report into the aggregate statistics.
+    void foldLpEffort(const LpEffort& e);
     /// Adopt `sol` if it improves the incumbent: prune the pool against the
     /// new cutoff and broadcast. Returns true if adopted.
     bool adoptSolution(const cip::Solution& sol);

@@ -38,6 +38,19 @@ enum class Tag {
 
 const char* toString(Tag t);
 
+/// Per-solver LP effort counters, reported with Status and Terminated.
+/// They quantify how *hard* the solver's nodes are — a frontier whose nodes
+/// each burn thousands of simplex iterations is heavier than one with the
+/// same node count and trivial LPs — and the LoadCoordinator weighs its
+/// racing-winner pick and collect-mode targeting by them. Counters are
+/// cumulative over the solver's current subproblem.
+struct LpEffort {
+    std::int64_t iterations = 0;        ///< simplex iterations
+    std::int64_t factorizations = 0;    ///< basis (re)factorizations
+    std::int64_t basisWarmStarts = 0;   ///< node LPs hot-started from parent
+    std::int64_t strongBranchProbes = 0;///< strong-branching LP probes
+};
+
 /// One message. Fields are used depending on the tag; unused fields stay at
 /// their defaults. Copy semantics everywhere: a sent message shares no state
 /// with the sender (the MPI discipline, enforced in shared memory too).
@@ -54,6 +67,7 @@ struct Message {
     std::int64_t openNodes = 0;      ///< Status
     std::int64_t nodesProcessed = 0; ///< Status / Terminated
     std::int64_t busyCost = 0;       ///< Status / Terminated: work units spent
+    LpEffort lpEffort;               ///< Status / Terminated / RacingFinished
     int settingId = -1;              ///< racing setting index
     bool completed = true;           ///< Terminated: subproblem fully solved
     cip::ParamSet params;            ///< RacingSubproblem settings

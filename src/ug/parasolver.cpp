@@ -86,6 +86,7 @@ void ParaSolver::finishSubproblem(BaseStatus status) {
     out.dualBound = solver_ ? solver_->dualBound() : -cip::kInf;
     out.nodesProcessed = solver_ ? solver_->nodesProcessed() : 0;
     out.busyCost = busyUnits_;
+    if (solver_) out.lpEffort = solver_->lpEffort();
     out.settingId = settingId_;
     out.completed =
         status == BaseStatus::Optimal || status == BaseStatus::Infeasible;
@@ -113,6 +114,7 @@ void ParaSolver::sendStatus() {
     out.openNodes = solver_->numOpenNodes();
     out.nodesProcessed = solver_->nodesProcessed();
     out.busyCost = busyUnits_;
+    out.lpEffort = solver_->lpEffort();
     out.settingId = settingId_;
     comm_.send(rank_, 0, out);
 }

@@ -39,6 +39,16 @@ std::int64_t CipBaseSolver::nodesProcessed() const {
     return solver_.stats().nodesProcessed;
 }
 
+ug::LpEffort CipBaseSolver::lpEffort() const {
+    const cip::Stats& s = solver_.stats();
+    ug::LpEffort e;
+    e.iterations = s.lpIterations;
+    e.factorizations = s.lpFactorizations;
+    e.basisWarmStarts = s.basisWarmStarts;
+    e.strongBranchProbes = s.strongBranchProbes;
+    return e;
+}
+
 const cip::Solution& CipBaseSolver::incumbent() const {
     return solver_.incumbent();
 }

@@ -26,6 +26,7 @@ public:
     double dualBound() const override;
     int numOpenNodes() const override;
     std::int64_t nodesProcessed() const override;
+    ug::LpEffort lpEffort() const override;
     const cip::Solution& incumbent() const override;
     void injectSolution(const cip::Solution& sol) override;
     std::optional<cip::SubproblemDesc> extractOpenNode() override;

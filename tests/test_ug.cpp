@@ -111,6 +111,11 @@ TEST(SimEngine, SolvesKnapsackCorrectly) {
     EXPECT_GT(res.stats.totalNodesProcessed, 0);
     EXPECT_GE(res.stats.idleRatio, 0.0);
     EXPECT_LE(res.stats.idleRatio, 1.0);
+    // Real cip solvers report their LP effort over the wire; the coordinator
+    // must have folded a nonzero amount of simplex work into the run stats.
+    EXPECT_GT(res.stats.lpIterations, 0);
+    EXPECT_GT(res.stats.lpFactorizations, 0);
+    EXPECT_GE(res.stats.basisWarmStarts, 0);
 }
 
 TEST(SimEngine, DeterministicAcrossRuns) {

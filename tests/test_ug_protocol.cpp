@@ -69,6 +69,16 @@ public:
         if (!best_.valid() || sol.obj < best_.obj) best_ = sol;
         sawIncumbent_ = true;
     }
+    ug::LpEffort lpEffort() const override {
+        // Deterministic synthetic LP effort: 5 iterations and one
+        // factorization per processed node, so aggregated totals follow from
+        // the mock's work conservation.
+        ug::LpEffort e;
+        e.iterations = processed_ * 5;
+        e.factorizations = processed_;
+        e.basisWarmStarts = processed_;
+        return e;
+    }
     std::optional<cip::SubproblemDesc> extractOpenNode() override {
         if (open_ < 2) return std::nullopt;
         const int budget = remaining_ - open_;  // not-yet-opened nodes
@@ -167,6 +177,22 @@ TEST(UgProtocol, BusyAccountingMatchesWorkDone) {
     EXPECT_GE(res.elapsed,
               res.stats.busyUnits * cfg.costUnitSeconds / cfg.numSolvers -
                   1e-9);
+}
+
+TEST(UgProtocol, LpEffortIsAggregatedIntoRunStats) {
+    MockFactory factory(120, 10);
+    ug::UgConfig cfg;
+    cfg.numSolvers = 6;
+    ug::SimEngine engine(factory, cfg);
+    ug::UgResult res = engine.run({});
+    ASSERT_EQ(res.status, ug::UgStatus::Optimal);
+    // Each solver reports its LpEffort with the Terminated message and the
+    // LoadCoordinator folds it into the run statistics; with the mock's
+    // conserved tree the totals are exact multiples of the nodes processed.
+    EXPECT_EQ(res.stats.lpIterations, res.stats.totalNodesProcessed * 5);
+    EXPECT_EQ(res.stats.lpFactorizations, res.stats.totalNodesProcessed);
+    EXPECT_EQ(res.stats.basisWarmStarts, res.stats.totalNodesProcessed);
+    EXPECT_EQ(res.stats.strongBranchProbes, 0);
 }
 
 TEST(UgProtocol, RacingPicksWinnerAndRecordsSetting) {
