@@ -38,3 +38,13 @@ add_test(NAME bench-smoke
                  --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_lp.json
                  --benchmark_out_format=json)
 set_tests_properties(bench-smoke PROPERTIES LABELS bench-smoke)
+
+# Same smoke treatment for the Steiner cut separation engine: archives the
+# engine-vs-per-terminal-rebuild comparison (with cuts / flow-solve /
+# augmentation counters) in BENCH_stp.json.
+add_test(NAME bench-smoke-stp
+         COMMAND micro_kernels
+                 --benchmark_filter=BM_StpSeparationRound.*
+                 --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_stp.json
+                 --benchmark_out_format=json)
+set_tests_properties(bench-smoke-stp PROPERTIES LABELS bench-smoke)

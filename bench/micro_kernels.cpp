@@ -10,11 +10,13 @@
 #include "lp/dense_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "sdp/ipm.hpp"
+#include "steiner/cutsep.hpp"
 #include "steiner/dualascent.hpp"
 #include "steiner/heuristics.hpp"
 #include "steiner/instances.hpp"
 #include "steiner/maxflow.hpp"
 #include "steiner/reductions.hpp"
+#include "steiner/stpmodel.hpp"
 
 namespace {
 
@@ -197,6 +199,105 @@ void BM_MaxFlowSeparation(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_MaxFlowSeparation)->Arg(4)->Arg(6)->Arg(8);
+
+/// A Steiner separation round on a hypercube instance at a realistic
+/// fractional LP point: the capped mix of two heuristic trees, so most
+/// terminals are (nearly) satisfied and a few are violated — the situation
+/// after a couple of root cut rounds.
+struct StpSepaCase {
+    steiner::SapInstance inst;
+    std::vector<double> x;
+};
+
+StpSepaCase makeStpSepaCase(int dim) {
+    steiner::Graph g = steiner::genHypercube(dim, true, 3);
+    StpSepaCase c{steiner::buildSapInstance(std::move(g),
+                                            steiner::ReductionStats{}),
+                  {}};
+    const steiner::Graph& h = c.inst.graph;
+    std::mt19937 rng(17u * static_cast<unsigned>(dim) + 1u);
+    std::uniform_real_distribution<double> perturb(0.5, 1.5);
+    std::vector<double> o1(h.numEdges()), o2(h.numEdges());
+    for (int e = 0; e < h.numEdges(); ++e) {
+        o1[e] = h.edge(e).cost * perturb(rng);
+        o2[e] = h.edge(e).cost * perturb(rng);
+    }
+    const steiner::HeuristicSolution t1 = steiner::primalHeuristic(h, 2, &o1);
+    const steiner::HeuristicSolution t2 = steiner::primalHeuristic(h, 2, &o2);
+    const std::vector<double> x1 = steiner::treeToModelSolution(c.inst, t1.edges);
+    const std::vector<double> x2 = steiner::treeToModelSolution(c.inst, t2.edges);
+    c.x.resize(x1.size());
+    std::uniform_real_distribution<double> thin(0.85, 1.0);
+    for (std::size_t i = 0; i < x1.size(); ++i)
+        c.x[i] = thin(rng) * std::min(1.0, 0.55 * x1[i] + 0.50 * x2[i]);
+    return c;
+}
+
+/// New engine: one persistent network, warm-started flows, nested/back
+/// cuts, deficit-ordered targets. Counters are per separation round.
+void BM_StpSeparationRound(benchmark::State& state) {
+    const StpSepaCase c = makeStpSepaCase(static_cast<int>(state.range(0)));
+    steiner::CutSeparationEngine engine(c.inst);
+    steiner::CutSepaConfig cfg;
+    std::vector<int> terms;
+    for (int t : c.inst.graph.terminals())
+        if (t != c.inst.root) terms.push_back(t);
+    std::vector<steiner::SteinerCut> cuts;
+    for (auto _ : state) {
+        engine.beginRound(c.x, cfg);
+        int budget = cfg.maxCuts;
+        for (int t : engine.orderByDeficit(terms)) {
+            if (budget <= 0) break;
+            cuts.clear();
+            budget -= engine.separateTarget(t, budget, cuts);
+            benchmark::DoNotOptimize(cuts.data());
+        }
+    }
+    const auto& st = engine.stats();
+    const double rounds =
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+    state.counters["cuts"] = static_cast<double>(st.cutsFound) / rounds;
+    state.counters["flow_solves"] = static_cast<double>(st.flowSolves) / rounds;
+    state.counters["augmentations"] =
+        static_cast<double>(st.augmentations) / rounds;
+    state.counters["warm_starts"] = static_cast<double>(st.warmStarts) / rounds;
+}
+BENCHMARK(BM_StpSeparationRound)->Arg(4)->Arg(6)->Arg(8);
+
+/// Seed baseline: a fresh MaxFlow network built and solved cold for every
+/// terminal (the pre-engine StpConshdlr::separateTarget loop), stopping at
+/// the same 12-cut round budget.
+void BM_StpSeparationRoundRebuild(benchmark::State& state) {
+    const StpSepaCase c = makeStpSepaCase(static_cast<int>(state.range(0)));
+    const steiner::Graph& g = c.inst.graph;
+    std::int64_t cuts = 0, solves = 0;
+    for (auto _ : state) {
+        int found = 0;
+        for (int t : g.terminals()) {
+            if (t == c.inst.root) continue;
+            steiner::MaxFlow mf(g.numVertices());
+            for (std::size_t var = 0; var < c.inst.varArc.size(); ++var) {
+                const int a = c.inst.varArc[var];
+                const steiner::Edge& e = g.edge(a / 2);
+                const int tail = (a % 2 == 0) ? e.u : e.v;
+                const int head = (a % 2 == 0) ? e.v : e.u;
+                mf.addArc(tail, head, std::max(0.0, c.x[var]));
+            }
+            const double flow = mf.solve(c.inst.root, t);
+            ++solves;
+            if (flow >= 1.0 - 0.05) continue;
+            std::vector<bool> side = mf.minCutSourceSide(c.inst.root);
+            benchmark::DoNotOptimize(side);
+            if (++found >= 12) break;
+        }
+        cuts += found;
+    }
+    const double rounds =
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+    state.counters["cuts"] = static_cast<double>(cuts) / rounds;
+    state.counters["flow_solves"] = static_cast<double>(solves) / rounds;
+}
+BENCHMARK(BM_StpSeparationRoundRebuild)->Arg(4)->Arg(6)->Arg(8);
 
 void BM_SymmetricEigen(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));

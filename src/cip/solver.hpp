@@ -55,6 +55,15 @@ struct Stats {
     std::int64_t numericalFailures = 0;  ///< nodes dropped on relax failure
     std::int64_t basisWarmStarts = 0;  ///< node LPs started from parent basis
     std::int64_t strongBranchProbes = 0;  ///< strong-branching LP probes run
+
+    // Separation-engine counters, reported by separating plugins via
+    // Solver::recordSeparationStats (e.g. the Steiner cut engine).
+    std::int64_t sepaFlowSolves = 0;   ///< separation oracle (max-flow) calls
+    std::int64_t sepaCutsFound = 0;    ///< violated cuts emitted by plugins
+    std::int64_t sepaNestedCuts = 0;   ///< cuts found at nested depth >= 1
+    std::int64_t sepaBackCuts = 0;     ///< sink-side back cuts emitted
+    int sepaMaxNestedDepth = 0;        ///< deepest nested re-solve chain
+    double sepaSeconds = 0.0;          ///< wall time spent in separation
 };
 
 class Solver {
@@ -146,6 +155,19 @@ public:
     bool submitSolution(Solution sol);
     /// Extra deterministic work units (relaxator iterations etc.).
     void addCost(std::int64_t units) { pendingCost_ += units; }
+    /// Accumulate separation-engine counters into the solver statistics
+    /// (deltas since the plugin's previous report).
+    void recordSeparationStats(std::int64_t flowSolves, std::int64_t cuts,
+                               std::int64_t nested, std::int64_t back,
+                               int nestedDepth, double seconds) {
+        stats_.sepaFlowSolves += flowSolves;
+        stats_.sepaCutsFound += cuts;
+        stats_.sepaNestedCuts += nested;
+        stats_.sepaBackCuts += back;
+        if (nestedDepth > stats_.sepaMaxNestedDepth)
+            stats_.sepaMaxNestedDepth = nestedDepth;
+        stats_.sepaSeconds += seconds;
+    }
     const Node* currentNode() const { return processing_.get(); }
     std::mt19937_64& rng() { return rng_; }
     /// LP data from the most recent relaxation solve at this node.

@@ -1,0 +1,237 @@
+#include "steiner/cutsep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace steiner {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+CutSeparationEngine::CutSeparationEngine(const SapInstance& inst)
+    : inst_(inst), mf_(inst.graph.numVertices()) {
+    const Graph& g = inst.graph;
+    tail_.reserve(inst.varArc.size());
+    head_.reserve(inst.varArc.size());
+    // Arc ids in the kernel correspond positionally to model vars.
+    for (std::size_t var = 0; var < inst.varArc.size(); ++var) {
+        const int a = inst.varArc[var];
+        const Edge& e = g.edge(a / 2);
+        const int t = (a % 2 == 0) ? e.u : e.v;
+        const int h = (a % 2 == 0) ? e.v : e.u;
+        tail_.push_back(t);
+        head_.push_back(h);
+        mf_.addArc(t, h, 0.0);
+    }
+}
+
+void CutSeparationEngine::beginRound(const std::vector<double>& x,
+                                     const CutSepaConfig& cfg) {
+    x_ = &x;
+    cfg_ = cfg;
+    // Creep epsilon small enough that even every arc carrying it cannot
+    // push a target over the violation threshold (and emitIfNew certifies
+    // against the raw x regardless).
+    creepEps_ =
+        cfg.creepFlow
+            ? std::min(1e-6,
+                       cfg.violationTol /
+                           (10.0 * static_cast<double>(std::max<std::size_t>(
+                                       1, tail_.size()))))
+            : 0.0;
+    for (std::size_t var = 0; var < tail_.size(); ++var) {
+        double cap = std::max(0.0, x[var]);
+        if (cap < creepEps_) cap = creepEps_;
+        mf_.setCapacity(static_cast<int>(var), cap);
+    }
+    // Narrow the kernel's traversals to the support of x (plus creep arcs):
+    // LP points are sparse, so most of the network can never carry flow
+    // this round. Arcs that gain capacity later (nested-cut saturation)
+    // re-activate themselves.
+    mf_.rebuildActive();
+    raised_.clear();  // capacities were just refreshed wholesale
+    lastSink_ = -1;
+    flowValue_ = 0.0;
+    ++stats_.rounds;
+}
+
+std::vector<int> CutSeparationEngine::orderByDeficit(
+    const std::vector<int>& targets) const {
+    const Graph& g = inst_.graph;
+    std::vector<std::pair<double, int>> scored;
+    scored.reserve(targets.size());
+    for (int t : targets) {
+        double inflow = 0.0;
+        if (x_) {
+            for (int e : g.incident(t)) {
+                if (g.edge(e).deleted) continue;
+                const int a = (g.edge(e).u == t) ? 2 * e + 1 : 2 * e;  // *->t
+                const int var = inst_.arcVar[a];
+                if (var >= 0) inflow += (*x_)[var];
+            }
+        }
+        scored.emplace_back(inflow, t);
+    }
+    // Smallest inflow = largest deficit first; stable for determinism.
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    std::vector<int> order;
+    order.reserve(scored.size());
+    for (const auto& [inflow, t] : scored) order.push_back(t);
+    return order;
+}
+
+SteinerCut CutSeparationEngine::extractCut(const std::vector<char>& side,
+                                           bool fromSource) const {
+    SteinerCut cut;
+    const std::vector<double>& x = *x_;
+    for (std::size_t var = 0; var < tail_.size(); ++var) {
+        const bool crosses =
+            fromSource ? (side[tail_[var]] && !side[head_[var]])
+                       : (!side[tail_[var]] && side[head_[var]]);
+        if (crosses) {
+            cut.vars.push_back(static_cast<int>(var));
+            cut.lpActivity += x[var];
+        }
+    }
+    return cut;
+}
+
+bool CutSeparationEngine::emitIfNew(SteinerCut cut,
+                                    std::vector<SteinerCut>& out,
+                                    std::vector<std::vector<int>>& seen,
+                                    bool isBackCut, int depth) {
+    if (cut.vars.empty()) return false;
+    // Certify the violation against the LP point itself: creep capacities
+    // and saturated arcs never enter this test.
+    if (cut.lpActivity >= 1.0 - cfg_.violationTol) return false;
+    for (const auto& s : seen)
+        if (s == cut.vars) return false;
+    seen.push_back(cut.vars);
+    ++stats_.cutsFound;
+    if (isBackCut) ++stats_.backCuts;
+    if (depth > 0) {
+        ++stats_.nestedCuts;
+        if (depth > stats_.maxNestedDepth) stats_.maxNestedDepth = depth;
+    }
+    out.push_back(std::move(cut));
+    return true;
+}
+
+void CutSeparationEngine::restoreRaised() {
+    if (raised_.empty()) return;
+    // Nested saturation is strictly per-target: leaving raised capacities in
+    // place would mask later targets of the round (their max flow crosses
+    // the threshold over arcs that only the saturation widened, so genuinely
+    // violated targets yield nothing). The nested top-ups routed flow above
+    // the true capacities, so the retained flow cannot be repaired — restart
+    // cold from the refreshed capacities.
+    for (int var : raised_) {
+        double cap = std::max(0.0, (*x_)[var]);
+        if (cap < creepEps_) cap = creepEps_;
+        mf_.setCapacity(var, cap);
+    }
+    raised_.clear();
+    mf_.clearFlow();
+    flowValue_ = 0.0;
+    lastSink_ = -1;
+}
+
+int CutSeparationEngine::separateTarget(int target, int budget,
+                                        std::vector<SteinerCut>& out) {
+    if (!x_ || budget <= 0 || target == inst_.root) return 0;
+    const int root = inst_.root;
+    restoreRaised();
+
+    // Warm start: repair the retained flow for the new sink. The old-sink
+    // excess is first rerouted toward the new target (each rerouted unit
+    // turns a root->old path into a root->new path), the remainder drained
+    // back to the root (always possible by flow decomposition).
+    if (lastSink_ >= 0 && lastSink_ != target && !cfg_.warmStart) {
+        mf_.clearFlow();
+        flowValue_ = 0.0;
+    } else if (lastSink_ >= 0 && lastSink_ != target && flowValue_ > kEps) {
+        // Repair uses greedy DFS paths: only a handful exist, their length
+        // is irrelevant, and skipping Dinic's BFS leveling is what makes
+        // warm-starting cheaper than a cold solve. The drain walks only
+        // reverse (flow-carrying) entries — a tiny subgraph, and complete
+        // there by flow decomposition.
+        const double rerouted = mf_.augmentDfs(lastSink_, target, flowValue_);
+        double excess = flowValue_ - rerouted;
+        if (excess > kEps)
+            excess -= mf_.augmentDfs(lastSink_, root, excess,
+                                     /*reverseOnly=*/true);
+        if (excess > 1e-9) {
+            // Numerical corner (decomposition says this cannot happen):
+            // fall back to a cold flow rather than keep a broken one.
+            mf_.clearFlow();
+            flowValue_ = 0.0;
+        } else {
+            flowValue_ = rerouted;
+            ++stats_.warmStarts;
+        }
+    } else if (lastSink_ != target) {
+        flowValue_ = 0.0;
+    }
+    lastSink_ = target;
+
+    std::vector<std::vector<int>> seen;
+    int found = 0;
+    // Only ever push flow up to the violation threshold: once the flow
+    // reaches 1 - tol the target cannot yield a violated cut, and stopping
+    // there avoids grinding out the full max flow across the creep arcs.
+    const double threshold = 1.0 - cfg_.violationTol;
+    for (int depth = 0;; ++depth) {
+        if (flowValue_ < threshold) {
+            flowValue_ += mf_.augment(root, target, threshold - flowValue_);
+            ++stats_.flowSolves;
+        }
+        // Hitting the cap means the residual graph may still have paths —
+        // the sides would not be cuts, so bail before extraction.
+        if (flowValue_ >= threshold - 1e-7) break;
+
+        // Forward cut from the source-side residual reachability. Its
+        // capacity equals the flow value, so it is violated by x (creep
+        // only widens arcs); emitIfNew re-checks against x regardless.
+        // The augment above always ran and ended exhausted, so its final
+        // failed BFS doubles as the reachability — no extra traversal.
+        mf_.sourceSideFromLastSearch(root, side_);
+        SteinerCut fwd = extractCut(side_, /*fromSource=*/true);
+        const std::vector<int> fwdVars = fwd.vars;
+        const int before = found;
+        if (found < budget && emitIfNew(std::move(fwd), out, seen,
+                                        /*isBackCut=*/false, depth))
+            ++found;
+        std::vector<int> backVars;
+        if (cfg_.backCuts && found < budget) {
+            mf_.residualSinkSide(target, side_);
+            SteinerCut back = extractCut(side_, /*fromSource=*/false);
+            backVars = back.vars;
+            if (emitIfNew(std::move(back), out, seen, /*isBackCut=*/true,
+                          depth))
+                ++found;
+        }
+        if (found >= budget || found == before) break;
+        if (!cfg_.nestedCuts || depth + 1 >= cfg_.maxNested) break;
+        // Nested cuts: saturate the cut arcs and re-solve the same target.
+        // Raising capacities keeps the current flow feasible, so the
+        // re-solve is a warm continuation, and at least one cut arc had
+        // capacity < 1 (the cut was violated) — guaranteed progress. The
+        // raises are undone before the next target (restoreRaised).
+        for (int var : fwdVars) {
+            mf_.raiseCapacity(var, 1.0);
+            raised_.push_back(var);
+        }
+        for (int var : backVars) {
+            mf_.raiseCapacity(var, 1.0);
+            raised_.push_back(var);
+        }
+    }
+    stats_.augmentations = mf_.augmentations();
+    return found;
+}
+
+}  // namespace steiner

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 namespace steiner {
 
@@ -10,42 +9,152 @@ namespace {
 constexpr double kFlowEps = 1e-9;
 }
 
-MaxFlow::MaxFlow(int numNodes) : n_(numNodes), adj_(numNodes) {}
+MaxFlow::MaxFlow(int numNodes) { reset(numNodes); }
+
+void MaxFlow::reset(int numNodes) {
+    n_ = numNodes;
+    built_ = false;
+    from_.clear();
+    to_.clear();
+    capSaved_.clear();
+    head_.clear();
+    arcs_.clear();
+    fwdIndex_.clear();
+    actFirst_.clear();
+    actNext_.clear();
+    isActive_.clear();
+    augmentations_ = 0;
+    bfsRounds_ = 0;
+}
 
 int MaxFlow::addArc(int from, int to, double capacity) {
-    const int id = static_cast<int>(arcRef_.size());
-    adj_[from].push_back({to, static_cast<int>(adj_[to].size()), capacity});
-    adj_[to].push_back({from, static_cast<int>(adj_[from].size()) - 1, 0.0});
-    arcRef_.emplace_back(from, static_cast<int>(adj_[from].size()) - 1);
+    const int id = static_cast<int>(from_.size());
+    from_.push_back(from);
+    to_.push_back(to);
     capSaved_.push_back(capacity);
+    built_ = false;  // structure changed; rebuild lazily
     return id;
 }
 
+void MaxFlow::ensureBuilt() {
+    if (built_) return;
+    const std::size_t m = from_.size();
+    head_.assign(n_ + 1, 0);
+    for (std::size_t a = 0; a < m; ++a) {
+        ++head_[from_[a] + 1];
+        ++head_[to_[a] + 1];
+    }
+    for (int v = 0; v < n_; ++v) head_[v + 1] += head_[v];
+    arcs_.resize(2 * m);
+    fwdIndex_.resize(m);
+    std::vector<int> fill(head_.begin(), head_.end() - 1);
+    for (std::size_t a = 0; a < m; ++a) {
+        const int f = fill[from_[a]]++;
+        const int r = fill[to_[a]]++;
+        arcs_[f] = {to_[a], r, capSaved_[a]};
+        arcs_[r] = {from_[a], f, 0.0};
+        fwdIndex_[a] = f;
+    }
+    isRev_.assign(arcs_.size(), 0);
+    for (std::size_t a = 0; a < m; ++a)
+        isRev_[arcs_[fwdIndex_[a]].pair] = 1;
+    built_ = true;
+    // Start with every arc active (plain Dinic); rebuildActive() narrows the
+    // lists to the flow-carrying support when the caller opts in.
+    actFirst_.assign(n_, -1);
+    actNext_.assign(arcs_.size(), -1);
+    isActive_.assign(arcs_.size(), 1);
+    for (int v = n_ - 1; v >= 0; --v)
+        for (int i = head_[v + 1] - 1; i >= head_[v]; --i) {
+            actNext_[i] = actFirst_[v];
+            actFirst_[v] = i;
+        }
+}
+
+void MaxFlow::rebuildActive() {
+    ensureBuilt();
+    actFirst_.assign(n_, -1);
+    actNext_.assign(arcs_.size(), -1);
+    isActive_.assign(arcs_.size(), 0);
+    // Descending so each node's list comes out in ascending CSR order,
+    // matching the unfiltered traversal order (deterministic cuts).
+    for (int v = n_ - 1; v >= 0; --v)
+        for (int i = head_[v + 1] - 1; i >= head_[v]; --i) {
+            const Arc& a = arcs_[i];
+            if (!isActive_[i] &&
+                (a.cap > kFlowEps || arcs_[a.pair].cap > kFlowEps))
+                activatePair(i, v);
+        }
+}
+
+void MaxFlow::activatePair(int i, int tail) {
+    if (isActive_[i]) return;
+    isActive_[i] = 1;
+    actNext_[i] = actFirst_[tail];
+    actFirst_[tail] = i;
+    const int j = arcs_[i].pair;
+    if (!isActive_[j]) {
+        isActive_[j] = 1;
+        actNext_[j] = actFirst_[arcs_[i].to];
+        actFirst_[arcs_[i].to] = j;
+    }
+}
+
 void MaxFlow::setCapacity(int arc, double capacity) {
-    auto [v, idx] = arcRef_[arc];
-    adj_[v][idx].cap = capacity;
-    // Reset the reverse residual as well.
-    Arc& fwd = adj_[v][idx];
-    adj_[fwd.to][fwd.rev].cap = 0.0;
     capSaved_[arc] = capacity;
+    levelsAreCut_ = false;
+    if (!built_) return;
+    Arc& fwd = arcs_[fwdIndex_[arc]];
+    fwd.cap = capacity;
+    arcs_[fwd.pair].cap = 0.0;  // reset the pair's flow as well
+    if (capacity > kFlowEps) activatePair(fwdIndex_[arc], from_[arc]);
+}
+
+void MaxFlow::raiseCapacity(int arc, double capacity) {
+    if (capacity <= capSaved_[arc]) return;
+    const double delta = capacity - capSaved_[arc];
+    capSaved_[arc] = capacity;
+    levelsAreCut_ = false;
+    if (!built_) return;
+    arcs_[fwdIndex_[arc]].cap += delta;  // flow (pair cap) untouched
+    if (capSaved_[arc] > kFlowEps) activatePair(fwdIndex_[arc], from_[arc]);
+}
+
+double MaxFlow::flow(int arc) const {
+    if (!built_) return 0.0;
+    return arcs_[arcs_[fwdIndex_[arc]].pair].cap;
 }
 
 void MaxFlow::clearFlow() {
-    for (std::size_t a = 0; a < arcRef_.size(); ++a) setCapacity(a, capSaved_[a]);
+    levelsAreCut_ = false;
+    if (!built_) return;
+    for (std::size_t a = 0; a < from_.size(); ++a) {
+        Arc& fwd = arcs_[fwdIndex_[a]];
+        fwd.cap = capSaved_[a];
+        arcs_[fwd.pair].cap = 0.0;
+    }
 }
 
 bool MaxFlow::bfsLevel(int s, int t) {
+    ++bfsRounds_;
     level_.assign(n_, -1);
-    std::queue<int> q;
+    levelSource_ = s;
+    queue_.clear();
     level_[s] = 0;
-    q.push(s);
-    while (!q.empty()) {
-        const int v = q.front();
-        q.pop();
-        for (const Arc& a : adj_[v]) {
+    queue_.push_back(s);
+    int tLevel = n_ + 1;
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+        const int v = queue_[qi];
+        // Nodes at or beyond the sink's level cannot lie on a shortest
+        // augmenting path; stop growing the level graph there. The blocking
+        // flow only walks level+1 edges, so unlabeled nodes are never hit.
+        if (level_[v] + 1 > tLevel) break;
+        for (int i = actFirst_[v]; i >= 0; i = actNext_[i]) {
+            const Arc& a = arcs_[i];
             if (a.cap > kFlowEps && level_[a.to] < 0) {
                 level_[a.to] = level_[v] + 1;
-                q.push(a.to);
+                if (a.to == t) tLevel = level_[a.to];
+                queue_.push_back(a.to);
             }
         }
     }
@@ -54,13 +163,13 @@ bool MaxFlow::bfsLevel(int s, int t) {
 
 double MaxFlow::dfsAugment(int v, int t, double pushed) {
     if (v == t) return pushed;
-    for (int& i = iter_[v]; i < static_cast<int>(adj_[v].size()); ++i) {
-        Arc& a = adj_[v][i];
+    for (int& i = iter_[v]; i >= 0; i = actNext_[i]) {
+        Arc& a = arcs_[i];
         if (a.cap > kFlowEps && level_[a.to] == level_[v] + 1) {
             const double d = dfsAugment(a.to, t, std::min(pushed, a.cap));
             if (d > kFlowEps) {
                 a.cap -= d;
-                adj_[a.to][a.rev].cap += d;
+                arcs_[a.pair].cap += d;
                 return d;
             }
         }
@@ -69,35 +178,151 @@ double MaxFlow::dfsAugment(int v, int t, double pushed) {
 }
 
 double MaxFlow::solve(int s, int t) {
+    return augment(s, t, std::numeric_limits<double>::infinity());
+}
+
+double MaxFlow::augment(int s, int t, double limit) {
+    ensureBuilt();
+    levelsAreCut_ = false;
     double flow = 0.0;
-    while (bfsLevel(s, t)) {
-        iter_.assign(n_, 0);
-        for (;;) {
-            const double f = dfsAugment(
-                s, t, std::numeric_limits<double>::infinity());
+    while (flow < limit - kFlowEps) {
+        if (!bfsLevel(s, t)) {
+            // The failed BFS visited exactly the residual source side;
+            // sourceSideFromLastSearch can reuse it until flow or
+            // capacities change.
+            levelsAreCut_ = true;
+            break;
+        }
+        iter_ = actFirst_;  // per-node current-arc pointers into the lists
+        while (flow < limit - kFlowEps) {
+            const double f = dfsAugment(s, t, limit - flow);
             if (f <= kFlowEps) break;
             flow += f;
+            ++augmentations_;
         }
     }
     return flow;
 }
 
+double MaxFlow::augmentDfs(int s, int t, double limit, bool reverseOnly) {
+    ensureBuilt();
+    if (s == t || limit <= kFlowEps) return 0.0;
+    levelsAreCut_ = false;
+    double total = 0.0;
+    iter_ = actFirst_;  // persistent current-arc pointers for this call
+    onPath_.assign(n_, 0);
+    pathStack_.clear();
+    onPath_[s] = 1;
+    int v = s;
+    while (true) {
+        if (v == t) {
+            double delta = limit - total;
+            for (int e : pathStack_) delta = std::min(delta, arcs_[e].cap);
+            for (int e : pathStack_) {
+                arcs_[e].cap -= delta;
+                arcs_[arcs_[e].pair].cap += delta;
+            }
+            total += delta;
+            ++augmentations_;
+            if (total >= limit - kFlowEps) break;
+            // Keep the unsaturated path prefix and resume the walk from the
+            // first saturated arc's tail; its owner's iterator still points
+            // at that arc and will skip past it.
+            std::size_t k = 0;
+            while (k < pathStack_.size() &&
+                   arcs_[pathStack_[k]].cap > kFlowEps)
+                ++k;
+            for (std::size_t j = pathStack_.size(); j > k; --j)
+                onPath_[arcs_[pathStack_[j - 1]].to] = 0;
+            pathStack_.resize(k);
+            v = k ? arcs_[pathStack_[k - 1]].to : s;
+            continue;
+        }
+        int& i = iter_[v];
+        bool advanced = false;
+        while (i >= 0) {
+            const Arc& a = arcs_[i];
+            if (a.cap > kFlowEps && !onPath_[a.to] &&
+                (!reverseOnly || isRev_[i])) {
+                pathStack_.push_back(i);
+                onPath_[a.to] = 1;
+                v = a.to;
+                advanced = true;
+                break;
+            }
+            i = actNext_[i];
+        }
+        if (advanced) continue;
+        if (v == s) break;  // source exhausted: no more paths
+        // Dead end: retreat and skip the arc that led here.
+        onPath_[v] = 0;
+        const int e = pathStack_.back();
+        pathStack_.pop_back();
+        v = arcs_[arcs_[e].pair].to;  // the arc's tail
+        iter_[v] = actNext_[e];
+    }
+    return total;
+}
+
+void MaxFlow::sourceSideFromLastSearch(int s, std::vector<char>& side) const {
+    if (!built_ || !levelsAreCut_ || levelSource_ != s) {
+        residualSourceSide(s, side);
+        return;
+    }
+    side.assign(n_, 0);
+    for (int v = 0; v < n_; ++v)
+        if (level_[v] >= 0) side[v] = 1;
+}
+
 std::vector<bool> MaxFlow::minCutSourceSide(int s) const {
-    std::vector<bool> side(n_, false);
-    std::queue<int> q;
-    side[s] = true;
-    q.push(s);
-    while (!q.empty()) {
-        const int v = q.front();
-        q.pop();
-        for (const Arc& a : adj_[v]) {
+    std::vector<char> side;
+    residualSourceSide(s, side);
+    return std::vector<bool>(side.begin(), side.end());
+}
+
+void MaxFlow::residualSourceSide(int s, std::vector<char>& side) const {
+    side.assign(n_, 0);
+    if (!built_) {
+        if (s >= 0 && s < n_) side[s] = 1;
+        return;
+    }
+    std::vector<int> q;
+    side[s] = 1;
+    q.push_back(s);
+    for (std::size_t qi = 0; qi < q.size(); ++qi) {
+        const int v = q[qi];
+        for (int i = actFirst_[v]; i >= 0; i = actNext_[i]) {
+            const Arc& a = arcs_[i];
             if (a.cap > kFlowEps && !side[a.to]) {
-                side[a.to] = true;
-                q.push(a.to);
+                side[a.to] = 1;
+                q.push_back(a.to);
             }
         }
     }
-    return side;
+}
+
+void MaxFlow::residualSinkSide(int t, std::vector<char>& side) const {
+    side.assign(n_, 0);
+    if (!built_) {
+        if (t >= 0 && t < n_) side[t] = 1;
+        return;
+    }
+    // v can reach w (in the set) iff the residual arc v->w has capacity;
+    // that arc is the pair of some CSR entry (w->v), so scanning the set
+    // member's own adjacency finds all residual in-neighbors.
+    std::vector<int> q;
+    side[t] = 1;
+    q.push_back(t);
+    for (std::size_t qi = 0; qi < q.size(); ++qi) {
+        const int w = q[qi];
+        for (int i = actFirst_[w]; i >= 0; i = actNext_[i]) {
+            const Arc& a = arcs_[i];
+            if (!side[a.to] && arcs_[a.pair].cap > kFlowEps) {
+                side[a.to] = 1;
+                q.push_back(a.to);
+            }
+        }
+    }
 }
 
 }  // namespace steiner

@@ -1,44 +1,145 @@
-// Dinic max-flow / min-cut on a small directed graph — the separation
-// engine for violated directed Steiner cuts (Formulation 1, constraint (4)).
+// Dinic max-flow / min-cut kernel of the Steiner cut separation engine.
+//
+// The network is stored in CSR form (one flat residual-arc array plus
+// per-node offsets) and is built once; between solves only capacities
+// change. The kernel supports the warm-start discipline the separation
+// engine relies on:
+//   - solve()/augment() continue from the *current* flow state, so a flow
+//     computed for one sink can be repaired (rerouted/drained) and reused
+//     for the next instead of restarting cold;
+//   - raiseCapacity() widens an arc without touching its flow (nested-cut
+//     saturation is a pure capacity increase, which never invalidates a
+//     feasible flow);
+//   - all BFS/DFS scratch buffers are reused across calls, and
+//     augmentation/BFS-round counters expose the incremental cost;
+//   - traversals only walk "active" arcs (positive residual capacity on the
+//     entry or its pair), kept in per-node intrusive lists. LP points are
+//     sparse, so this skips the vast majority of the network. The lists only
+//     grow within a round (capacity updates activate arcs, flow never
+//     deactivates them); rebuildActive() compacts them for a fresh round.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace steiner {
 
 class MaxFlow {
 public:
-    explicit MaxFlow(int numNodes);
+    explicit MaxFlow(int numNodes = 0);
+
+    /// Drop all arcs and scratch state; the network has `numNodes` nodes.
+    void reset(int numNodes);
 
     /// Add a directed arc; returns its id (for capacity updates / queries).
+    /// Arcs added after a solve invalidate the built network (it is rebuilt
+    /// lazily with all flow cleared).
     int addArc(int from, int to, double capacity);
 
+    /// Set an arc's capacity, clearing any flow on the arc pair.
     void setCapacity(int arc, double capacity);
 
-    /// Max flow from s to t. Mutates internal flow state; call minCutSourceSide
-    /// afterwards for the cut.
+    /// Raise an arc's capacity to `capacity` (if larger) while keeping its
+    /// current flow intact — the nested-cut saturation primitive.
+    void raiseCapacity(int arc, double capacity);
+
+    double capacity(int arc) const { return capSaved_[arc]; }
+    /// Current flow on an arc (0 before any solve).
+    double flow(int arc) const;
+
+    /// Augment from the current flow state until no s->t augmenting path
+    /// remains; returns the *additional* flow found (with zero initial flow
+    /// this is the max-flow value). Call minCutSourceSide afterwards for
+    /// the cut.
     double solve(int s, int t);
 
-    /// Vertices reachable from s in the residual network (after solve()).
-    std::vector<bool> minCutSourceSide(int s) const;
+    /// Bounded augmentation: push at most `limit` additional units from s
+    /// to t; returns the amount pushed.
+    double augment(int s, int t, double limit);
+
+    /// Bounded augmentation along greedy DFS paths (no BFS leveling), with
+    /// per-node current-arc pointers persisting across the paths of one
+    /// call: every arc is scanned past at most once, so a whole call costs
+    /// one traversal plus the paths themselves. Cheaper than augment() for
+    /// the flow-repair steps of the separation engine (reroute old-sink
+    /// excess to the new sink, drain the rest back to the root).
+    ///
+    /// With `reverseOnly` the search walks only reverse (flow-carrying)
+    /// entries — the drain case. There capacities only decrease, which makes
+    /// the current-arc discipline exact: if a path exists it is found (flow
+    /// decomposition guarantees one for draining excess). Without it the
+    /// search is best-effort (a skipped arc may become useful again), which
+    /// the reroute tolerates — whatever is missed is drained instead.
+    double augmentDfs(int s, int t, double limit, bool reverseOnly = false);
+
+    /// Source-side reachability of the most recent exhausted augment()/
+    /// solve() call (its final failed level BFS visits exactly the residual
+    /// source side), without running another BFS. Falls back to
+    /// residualSourceSide(s, side) if the cached levels are stale.
+    void sourceSideFromLastSearch(int s, std::vector<char>& side) const;
 
     /// Reset flows to zero (capacities kept).
     void clearFlow();
 
+    /// Recompute the active-arc lists from the current capacities, dropping
+    /// arcs that went inactive (e.g. zeroed by setCapacity since the last
+    /// rebuild). Call once per separation round after refreshing capacities.
+    void rebuildActive();
+
+    /// Vertices reachable from s in the residual network (after solve()).
+    std::vector<bool> minCutSourceSide(int s) const;
+
+    /// Forward-residual reachability from s written into `side` (resized;
+    /// 1 = reachable). Allocation-free variant of minCutSourceSide.
+    void residualSourceSide(int s, std::vector<char>& side) const;
+
+    /// Reverse-residual reachability: side[v] = 1 iff v can reach t through
+    /// arcs with positive residual capacity. The arcs entering this set from
+    /// outside form the sink-side min cut ("back cut").
+    void residualSinkSide(int t, std::vector<char>& side) const;
+
+    std::int64_t augmentations() const { return augmentations_; }
+    std::int64_t bfsRounds() const { return bfsRounds_; }
+
 private:
     struct Arc {
         int to;
-        int rev;       ///< index of the reverse arc in adj_[to]
-        double cap;
+        int pair;    ///< index of the paired (reverse) entry in arcs_
+        double cap;  ///< residual capacity
     };
+    void ensureBuilt();
     bool bfsLevel(int s, int t);
     double dfsAugment(int v, int t, double pushed);
+    /// Put CSR entry `i` (leaving node `tail`) and its pair on the active
+    /// lists if not there yet.
+    void activatePair(int i, int tail);
 
-    int n_;
-    std::vector<std::vector<Arc>> adj_;
-    std::vector<std::pair<int, int>> arcRef_;  ///< arc id -> (node, idx)
+    int n_ = 0;
+    bool built_ = false;
+    // Staged arc list (authoritative for structure + nominal capacities).
+    std::vector<int> from_, to_;
     std::vector<double> capSaved_;
-    std::vector<int> level_, iter_;
+    // CSR residual network: arcs_[head_[v]..head_[v+1]) leave node v.
+    std::vector<int> head_;
+    std::vector<Arc> arcs_;
+    std::vector<int> fwdIndex_;  ///< arc id -> index of forward entry in arcs_
+    // Active-arc filter: intrusive singly-linked list per node over CSR
+    // entries whose pair could carry residual flow.
+    std::vector<int> actFirst_;   ///< per node: first active entry (-1 none)
+    std::vector<int> actNext_;    ///< per entry: next active entry (-1 end)
+    std::vector<char> isActive_;  ///< per entry: on the active list?
+    // Reusable scratch.
+    std::vector<int> level_, iter_, queue_;
+    std::vector<int> pathStack_;   ///< augmentDfs: CSR entries of current path
+    std::vector<char> onPath_;     ///< augmentDfs: node is on the current path
+    std::vector<char> isRev_;      ///< per CSR entry: reverse half of its pair
+    /// True while level_ holds the final (failed, hence complete) BFS of the
+    /// last augment() — i.e. exact source-side reachability. Any flow or
+    /// capacity change invalidates it.
+    bool levelsAreCut_ = false;
+    int levelSource_ = -1;  ///< source node of the BFS stored in level_
+    std::int64_t augmentations_ = 0;
+    std::int64_t bfsRounds_ = 0;
 };
 
 }  // namespace steiner

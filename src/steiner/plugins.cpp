@@ -1,21 +1,16 @@
 #include "steiner/plugins.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <queue>
 
 #include "steiner/dualascent.hpp"
 #include "steiner/heuristics.hpp"
-#include "steiner/maxflow.hpp"
 #include "steiner/reductions.hpp"
 #include "steiner/shortest.hpp"
 
 namespace steiner {
-
-namespace {
-constexpr double kCutViolationTol = 0.05;
-constexpr int kMaxCutsPerRound = 12;
-}  // namespace
 
 VertexBranchState parseVertexBranches(
     const SapInstance& inst, const std::vector<cip::CustomBranch>& cbs) {
@@ -36,7 +31,21 @@ VertexBranchState parseVertexBranches(
 StpConshdlr::StpConshdlr(const SapInstance& inst)
     : ConstraintHandler(kStpPluginName, 0),
       inst_(inst),
+      engine_(inst),
       required_(inst.graph.numVertices(), 0) {}
+
+CutSepaConfig StpConshdlr::sepaConfig(const cip::Solver& solver) const {
+    const cip::ParamSet& p = solver.params();
+    CutSepaConfig cfg;
+    cfg.nestedCuts = p.getBool("stp/sepa/nestedcuts", cfg.nestedCuts);
+    cfg.backCuts = p.getBool("stp/sepa/backcuts", cfg.backCuts);
+    cfg.creepFlow = p.getBool("stp/sepa/creepflow", cfg.creepFlow);
+    cfg.warmStart = p.getBool("stp/sepa/warmstart", cfg.warmStart);
+    cfg.maxCuts = p.getInt("stp/sepa/maxcuts", cfg.maxCuts);
+    cfg.violationTol = p.getReal("stp/sepa/violationtol", cfg.violationTol);
+    cfg.maxNested = p.getInt("stp/sepa/maxnested", cfg.maxNested);
+    return cfg;
+}
 
 std::vector<std::pair<int, double>> StpConshdlr::inArcCoefs(int v) const {
     std::vector<std::pair<int, double>> coefs;
@@ -109,57 +118,90 @@ bool StpConshdlr::check(cip::Solver&, const std::vector<double>& x) {
     return true;
 }
 
-int StpConshdlr::separateTarget(cip::Solver& solver,
-                                const std::vector<double>& x, int target,
-                                bool asManaged) {
-    const Graph& g = inst_.graph;
-    MaxFlow mf(g.numVertices());
-    // Arc ids in mf correspond positionally to model vars.
-    for (std::size_t var = 0; var < inst_.varArc.size(); ++var) {
-        const int a = inst_.varArc[var];
-        const Edge& e = g.edge(a / 2);
-        const int tail = (a % 2 == 0) ? e.u : e.v;
-        const int head = (a % 2 == 0) ? e.v : e.u;
-        mf.addArc(tail, head, std::max(0.0, x[var]));
-    }
-    const double flow = mf.solve(inst_.root, target);
-    if (flow >= 1.0 - kCutViolationTol) return 0;
-    std::vector<bool> side = mf.minCutSourceSide(inst_.root);
-    std::vector<std::pair<int, double>> coefs;
-    for (std::size_t var = 0; var < inst_.varArc.size(); ++var) {
-        const int a = inst_.varArc[var];
-        const Edge& e = g.edge(a / 2);
-        const int tail = (a % 2 == 0) ? e.u : e.v;
-        const int head = (a % 2 == 0) ? e.v : e.u;
-        if (side[tail] && !side[head])
-            coefs.emplace_back(static_cast<int>(var), 1.0);
-    }
-    if (coefs.empty()) return 0;
-    if (asManaged) {
-        const int handle =
-            solver.addManagedRow(cip::Row(std::move(coefs), 1.0, cip::kInf));
-        solver.setManagedRowBounds(handle, 1.0, cip::kInf);
-        localCuts_.emplace_back(target, handle);
-    } else {
-        solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
-    }
-    return 1;
-}
-
 int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
+    const auto t0 = std::chrono::steady_clock::now();
     const Graph& g = inst_.graph;
-    int cuts = 0;
-    for (int t : g.terminals()) {
-        if (t == inst_.root) continue;
-        cuts += separateTarget(solver, x, t, /*asManaged=*/false);
-        if (cuts >= kMaxCutsPerRound) return cuts;
+    const CutSepaConfig cfg = sepaConfig(solver);
+    engine_.beginRound(x, cfg);
+
+    std::vector<int> terms;
+    for (int t : g.terminals())
+        if (t != inst_.root) terms.push_back(t);
+    std::vector<int> verts;
+    for (int v = 0; v < g.numVertices(); ++v)
+        if (required_[v] && !g.isTerminal(v)) verts.push_back(v);
+
+    // Fair budget split: branching-required vertices get a share of the
+    // round budget proportional to their count (at least one when any
+    // exist), so terminal cuts can no longer starve the node-local managed
+    // cuts at deep nodes. Whatever the terminals leave unused rolls over.
+    const int total = std::max(1, cfg.maxCuts);
+    int vertReserve = 0;
+    if (!verts.empty()) {
+        const std::size_t pool = terms.size() + verts.size();
+        vertReserve = std::max<int>(
+            1, static_cast<int>((static_cast<std::size_t>(total) *
+                                 verts.size()) / std::max<std::size_t>(1, pool)));
+        vertReserve = std::min(vertReserve, total);
     }
-    for (int v = 0; v < g.numVertices(); ++v) {
-        if (!required_[v] || g.isTerminal(v)) continue;
-        cuts += separateTarget(solver, x, v, /*asManaged=*/true);
-        if (cuts >= kMaxCutsPerRound) return cuts;
+
+    // One target may not eat the whole round: nested/back cuts multiply the
+    // cuts per target, and without a per-target cap the first (deepest
+    // deficit) targets would starve the rest, leaving most terminals
+    // unseparated for the round and weakening the bound progress.
+    const int perTarget = std::max(1, (total - vertReserve) / 4);
+
+    std::vector<SteinerCut> cuts;
+    int termCuts = 0;
+    int termBudget = total - vertReserve;
+    for (int t : engine_.orderByDeficit(terms)) {
+        if (termBudget <= 0) break;
+        cuts.clear();
+        const int k =
+            engine_.separateTarget(t, std::min(termBudget, perTarget), cuts);
+        for (SteinerCut& c : cuts) {
+            std::vector<std::pair<int, double>> coefs;
+            coefs.reserve(c.vars.size());
+            for (int var : c.vars) coefs.emplace_back(var, 1.0);
+            solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
+        }
+        termBudget -= k;
+        termCuts += k;
     }
-    return cuts;
+    int vertBudget = total - termCuts;
+    int vertCuts = 0;
+    for (int v : engine_.orderByDeficit(verts)) {
+        if (vertBudget <= 0) break;
+        cuts.clear();
+        const int k =
+            engine_.separateTarget(v, std::min(vertBudget, perTarget), cuts);
+        for (SteinerCut& c : cuts) {
+            std::vector<std::pair<int, double>> coefs;
+            coefs.reserve(c.vars.size());
+            for (int var : c.vars) coefs.emplace_back(var, 1.0);
+            const int handle = solver.addManagedRow(
+                cip::Row(std::move(coefs), 1.0, cip::kInf));
+            solver.setManagedRowBounds(handle, 1.0, cip::kInf);
+            localCuts_.emplace_back(v, handle);
+        }
+        vertBudget -= k;
+        vertCuts += k;
+    }
+
+    // Charge deterministic work and thread the engine's counters (deltas
+    // since the last report) through the solver statistics.
+    const CutSepaStats& es = engine_.stats();
+    solver.addCost(1 + (es.augmentations - reported_.augmentations));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    solver.recordSeparationStats(
+        es.flowSolves - reported_.flowSolves,
+        es.cutsFound - reported_.cutsFound,
+        es.nestedCuts - reported_.nestedCuts,
+        es.backCuts - reported_.backCuts, es.maxNestedDepth, seconds);
+    reported_ = es;
+    return termCuts + vertCuts;
 }
 
 int StpConshdlr::enforce(cip::Solver& solver, const std::vector<double>& x,
@@ -329,19 +371,30 @@ cip::ReduceResult reduceSubgraphAndFix(cip::Solver& solver,
     ReductionStats stats;
     for (int round = 0; round < 2; ++round) {
         const long long before = stats.edgesDeleted;
-        // Dangling non-terminal chains.
-        bool changed = true;
-        while (changed) {
-            changed = false;
-            for (int v = 0; v < h.numVertices(); ++v) {
-                if (!h.vertexAlive(v) || h.isTerminal(v)) continue;
-                if (h.degree(v) == 1) {
-                    for (int e : std::vector<int>(h.incident(v)))
-                        if (!h.edge(e).deleted) h.deleteEdge(e);
-                    ++stats.edgesDeleted;
-                    changed = true;
+        // Dangling non-terminal chains: single-pass queue-based degree-1
+        // peel (deleting a leaf edge can only turn its neighbor into the
+        // next leaf, so seeding with the current leaves is complete).
+        std::queue<int> leaves;
+        for (int v = 0; v < h.numVertices(); ++v)
+            if (h.vertexAlive(v) && !h.isTerminal(v) && h.degree(v) == 1)
+                leaves.push(v);
+        while (!leaves.empty()) {
+            const int v = leaves.front();
+            leaves.pop();
+            if (!h.vertexAlive(v) || h.isTerminal(v) || h.degree(v) != 1)
+                continue;
+            int live = -1;
+            for (int e : h.incident(v))
+                if (!h.edge(e).deleted) {
+                    live = e;
+                    break;
                 }
-            }
+            if (live < 0) continue;
+            const int w = h.edge(live).other(v);
+            h.deleteEdge(live);
+            ++stats.edgesDeleted;
+            if (h.vertexAlive(w) && !h.isTerminal(w) && h.degree(w) == 1)
+                leaves.push(w);
         }
         sdTest(h, stats);
         if (h.numTerminals() > 1) {
@@ -386,6 +439,16 @@ void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
         solver.params().setInt("separating/maxroundsroot", 20);
     solver.params().setInt("separating/maxrounds", 3);
     solver.params().setInt("separating/maxpoolsize", 250);
+    // Cut separation engine defaults (overridable from the outside).
+    cip::ParamSet& p = solver.params();
+    if (!p.has("stp/sepa/nestedcuts")) p.setBool("stp/sepa/nestedcuts", true);
+    if (!p.has("stp/sepa/backcuts")) p.setBool("stp/sepa/backcuts", true);
+    if (!p.has("stp/sepa/creepflow")) p.setBool("stp/sepa/creepflow", false);
+    if (!p.has("stp/sepa/warmstart")) p.setBool("stp/sepa/warmstart", true);
+    if (!p.has("stp/sepa/maxcuts")) p.setInt("stp/sepa/maxcuts", 12);
+    if (!p.has("stp/sepa/violationtol"))
+        p.setReal("stp/sepa/violationtol", 0.05);
+    if (!p.has("stp/sepa/maxnested")) p.setInt("stp/sepa/maxnested", 8);
 }
 
 }  // namespace steiner

@@ -20,6 +20,7 @@
 
 #include "cip/plugins.hpp"
 #include "cip/solver.hpp"
+#include "steiner/cutsep.hpp"
 #include "steiner/stpmodel.hpp"
 
 namespace steiner {
@@ -47,12 +48,16 @@ public:
                 cip::BranchDecision& decision) override;
     void nodeActivated(cip::Solver& solver) override;
 
+    /// The separation engine (exposed for tests and benchmarks).
+    const CutSeparationEngine& engine() const { return engine_; }
+
 private:
-    int separateTarget(cip::Solver& solver, const std::vector<double>& x,
-                       int target, bool asManaged);
+    CutSepaConfig sepaConfig(const cip::Solver& solver) const;
     std::vector<std::pair<int, double>> inArcCoefs(int v) const;
 
     const SapInstance& inst_;
+    CutSeparationEngine engine_;
+    CutSepaStats reported_;  ///< engine stats already pushed to the solver
     std::vector<signed char> required_;  ///< current node: extra terminals
     std::unordered_map<int, int> vertexRow_;  ///< v -> managed indeg>=1 row
     std::vector<std::pair<int, int>> localCuts_;  ///< (vertex, row handle)

@@ -109,6 +109,8 @@ struct UgStats {
     long long lpFactorizations = 0;   ///< basis (re)factorizations
     long long basisWarmStarts = 0;    ///< node LPs hot-started from parent
     long long strongBranchProbes = 0; ///< strong-branching LP probes
+    long long sepaFlowSolves = 0;     ///< separation oracle (max-flow) calls
+    long long sepaCuts = 0;           ///< violated cuts found by separators
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart

@@ -45,6 +45,8 @@ void LoadCoordinator::foldLpEffort(const LpEffort& e) {
     stats_.lpFactorizations += e.factorizations;
     stats_.basisWarmStarts += e.basisWarmStarts;
     stats_.strongBranchProbes += e.strongBranchProbes;
+    stats_.sepaFlowSolves += e.sepaFlowSolves;
+    stats_.sepaCuts += e.sepaCuts;
 }
 
 void LoadCoordinator::noteActivity() {

@@ -49,6 +49,8 @@ struct LpEffort {
     std::int64_t factorizations = 0;    ///< basis (re)factorizations
     std::int64_t basisWarmStarts = 0;   ///< node LPs hot-started from parent
     std::int64_t strongBranchProbes = 0;///< strong-branching LP probes
+    std::int64_t sepaFlowSolves = 0;    ///< separation oracle (max-flow) calls
+    std::int64_t sepaCuts = 0;          ///< violated cuts found by separators
 };
 
 /// One message. Fields are used depending on the tag; unused fields stay at

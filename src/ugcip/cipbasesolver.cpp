@@ -46,6 +46,8 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.factorizations = s.lpFactorizations;
     e.basisWarmStarts = s.basisWarmStarts;
     e.strongBranchProbes = s.strongBranchProbes;
+    e.sepaFlowSolves = s.sepaFlowSolves;
+    e.sepaCuts = s.sepaCutsFound;
     return e;
 }
 
