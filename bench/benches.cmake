@@ -48,3 +48,13 @@ add_test(NAME bench-smoke-stp
                  --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_stp.json
                  --benchmark_out_format=json)
 set_tests_properties(bench-smoke-stp PROPERTIES LABELS bench-smoke)
+
+# Cut-pool smoke: archives the dominance-filter throughput (verdict-mix
+# counters) and the root LP-rows-per-round comparison with the pool on vs
+# off in BENCH_cutpool.json.
+add_test(NAME bench-smoke-cutpool
+         COMMAND micro_kernels
+                 --benchmark_filter=BM_CutPool.*
+                 --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_cutpool.json
+                 --benchmark_out_format=json)
+set_tests_properties(bench-smoke-cutpool PROPERTIES LABELS bench-smoke)

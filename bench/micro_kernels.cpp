@@ -6,11 +6,14 @@
 #include <algorithm>
 #include <random>
 
+#include "cip/solver.hpp"
 #include "linalg/eigen.hpp"
 #include "lp/dense_simplex.hpp"
 #include "lp/simplex.hpp"
 #include "sdp/ipm.hpp"
+#include "steiner/cutpool.hpp"
 #include "steiner/cutsep.hpp"
+#include "steiner/plugins.hpp"
 #include "steiner/dualascent.hpp"
 #include "steiner/heuristics.hpp"
 #include "steiner/instances.hpp"
@@ -298,6 +301,106 @@ void BM_StpSeparationRoundRebuild(benchmark::State& state) {
     state.counters["flow_solves"] = static_cast<double>(solves) / rounds;
 }
 BENCHMARK(BM_StpSeparationRoundRebuild)->Arg(4)->Arg(6)->Arg(8);
+
+/// Dominance-filter throughput: a deck of 0/1 ">= 1" cut supports shaped
+/// like a long separation run — mostly fresh cuts, with a tail of exact
+/// re-discoveries and widened (superset) variants — streamed through the
+/// solver-lifetime pool. Counters report the filter verdict mix per offer.
+void BM_CutPoolFilter(benchmark::State& state) {
+    const int nvars = static_cast<int>(state.range(0));
+    std::mt19937 rng(23u * static_cast<unsigned>(nvars) + 5u);
+    std::uniform_int_distribution<int> len(4, 12);
+    std::uniform_int_distribution<int> var(0, nvars - 1);
+    std::uniform_int_distribution<int> extra(1, 3);
+    std::uniform_real_distribution<double> mode(0.0, 1.0);
+    std::vector<std::vector<int>> deck;
+    deck.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        const double m = mode(rng);
+        if (!deck.empty() && m < 0.2) {  // exact re-discovery
+            deck.push_back(
+                deck[static_cast<std::size_t>(var(rng)) % deck.size()]);
+        } else if (!deck.empty() && m < 0.4) {  // widened variant
+            std::vector<int> s =
+                deck[static_cast<std::size_t>(var(rng)) % deck.size()];
+            for (int k = extra(rng); k > 0; --k) s.push_back(var(rng));
+            deck.push_back(std::move(s));
+        } else {  // fresh cut
+            std::vector<int> s(static_cast<std::size_t>(len(rng)));
+            for (int& v : s) v = var(rng);
+            deck.push_back(std::move(s));
+        }
+    }
+    steiner::CutPool pool(nvars);
+    std::vector<int> evicted;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pool.offer(deck[i % deck.size()], nullptr, &evicted));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+    const steiner::CutPoolStats& ps = pool.stats();
+    const double offers = static_cast<double>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(ps.offered)));
+    state.counters["admit_rate"] = static_cast<double>(ps.admitted) / offers;
+    state.counters["dup_rate"] = static_cast<double>(ps.dupRejected) / offers;
+    state.counters["dom_rate"] =
+        static_cast<double>(ps.dominatedRejected) / offers;
+    state.counters["evict_rate"] =
+        static_cast<double>(ps.dominatedEvicted) / offers;
+    state.counters["pool_size"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_CutPoolFilter)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// LP leanness at the root: a full root-node cut loop on a raw (unreduced)
+/// hypercube SAP model, with the dominance pool on (arg 1) or off (arg 0).
+/// The headline counter is the mean LP row count per separation round —
+/// the quantity the pool exists to shrink — next to the pool's hit and
+/// eviction totals and the settled root dual bound.
+void BM_CutPoolRootRows(benchmark::State& state) {
+    const int dim = static_cast<int>(state.range(0));
+    const bool dominance = state.range(1) != 0;
+    const steiner::Graph g = steiner::genHypercube(dim, true, 1);
+    double rows = 0.0, dual = 0.0;
+    cip::Stats st;
+    for (auto _ : state) {
+        steiner::Graph copy = g;
+        steiner::ReductionStats none;
+        steiner::SapInstance inst =
+            steiner::buildSapInstance(std::move(copy), none);
+        cip::Solver solver;
+        solver.setModel(inst.model);
+        solver.params().setBool("stp/sepa/pooldominance", dominance);
+        solver.params().setReal("limits/nodes", 1);
+        solver.params().setInt("separating/maxroundsroot", 200);
+        solver.params().setInt("stp/sepa/maxcuts", 64);
+        steiner::installStpPlugins(solver, inst);
+        solver.solve();
+        st = solver.stats();
+        rows = st.sepaRounds > 0
+                   ? static_cast<double>(st.sepaLpRowsSum) /
+                         static_cast<double>(st.sepaRounds)
+                   : 0.0;
+        dual = solver.dualBound();
+        benchmark::DoNotOptimize(dual);
+    }
+    state.counters["lp_rows_per_round"] = rows;
+    state.counters["sepa_rounds"] = static_cast<double>(st.sepaRounds);
+    state.counters["pool_dup_rejected"] =
+        static_cast<double>(st.cutDupRejected);
+    state.counters["pool_dom_rejected"] =
+        static_cast<double>(st.cutDominatedRejected);
+    state.counters["pool_dom_evicted"] =
+        static_cast<double>(st.cutDominatedEvicted);
+    state.counters["cuts_retired"] = static_cast<double>(st.cutsRetired);
+    state.counters["root_dual"] = dual;
+}
+BENCHMARK(BM_CutPoolRootRows)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1});
 
 void BM_SymmetricEigen(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));

@@ -135,9 +135,12 @@ void Solver::initSolve() {
         params_.getInt("randomization/permutationseed", 0)));
     pseudo_.assign(n, {});
     cutPool_.clear();
-    cutLpIndex_.clear();
-    cutAge_.clear();
     pendingCuts_.clear();
+    pendingCutTokens_.clear();
+    retiredTokens_.clear();
+    // nextCutToken_ is deliberately NOT reset: tokens are unique over the
+    // Solver's lifetime, so a plugin pool surviving a re-init can never
+    // confuse an old token with a new cut.
     managedRows_.clear();
     lpBuilt_ = false;
     lpDualsFresh_ = false;
@@ -212,9 +215,7 @@ void Solver::buildLp() {
     for (int j = 0; j < n; ++j)
         lpm.addCol(model_.var(j).obj, curLb_[j], curUb_[j]);
     for (int i = 0; i < model_.numRows(); ++i) lpm.addRow(model_.row(i));
-    cutLpIndex_.clear();
-    for (const Row& cut : cutPool_) cutLpIndex_.push_back(lpm.addRow(cut));
-    cutAge_.resize(cutPool_.size(), 0);
+    for (PoolCut& pc : cutPool_) pc.lpIndex = lpm.addRow(pc.row);
     for (ManagedRow& mr : managedRows_)
         mr.lpIndex = lpm.addRow(mr.row);
     // Basis factorization kernel: sparse LU with Forrest–Tomlin updates by
@@ -242,44 +243,93 @@ lp::SolveStatus Solver::flushPendingCutsToLp() {
     pendingCost_ += lp_.iterations() - before;
     lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     for (std::size_t k = 0; k < pendingCuts_.size(); ++k) {
-        cutPool_.push_back(pendingCuts_[k]);
-        cutLpIndex_.push_back(base + static_cast<int>(k));
-        cutAge_.push_back(0);
+        PoolCut pc;
+        pc.row = std::move(pendingCuts_[k]);
+        pc.token = pendingCutTokens_[k];
+        pc.lpIndex = base + static_cast<int>(k);
+        cutPool_.push_back(std::move(pc));
     }
     pendingCuts_.clear();
+    pendingCutTokens_.clear();
     return st;
 }
 
 void Solver::manageCutPool() {
-    if (!lpBuilt_ || cutPool_.empty()) return;
+    if (cutPool_.empty()) return;
     // Age cuts using the duals of the last optimal LP basis: a cut with a
-    // (near-)zero dual multiplier was not binding. If the last (re)solve
-    // failed (NumericalTrouble, iteration limit, infeasible probe), the
-    // stored duals are stale garbage — skip aging entirely rather than let
-    // them drive cut deletion.
-    if (!lpDualsFresh_) return;
-    const auto& duals = lp_.duals();
-    for (std::size_t i = 0; i < cutPool_.size(); ++i) {
-        const int idx = cutLpIndex_[i];
-        if (idx < 0 || idx >= static_cast<int>(duals.size())) continue;
-        if (std::fabs(duals[idx]) > 1e-9)
-            cutAge_[i] = 0;
-        else
-            ++cutAge_[i];
-    }
-    const int maxPool = params_.getInt("separating/maxpoolsize", 300);
-    if (static_cast<int>(cutPool_.size()) <= maxPool) return;
-    std::vector<Row> kept;
-    std::vector<int> keptAge;
-    for (std::size_t i = 0; i < cutPool_.size(); ++i) {
-        if (cutAge_[i] < 2) {
-            kept.push_back(std::move(cutPool_[i]));
-            keptAge.push_back(cutAge_[i]);
+    // (near-)zero dual multiplier was not binding. Aging needs both a built
+    // LP (so lpIndex values are row positions, see the PoolCut invariant)
+    // and fresh duals — if the last (re)solve failed (NumericalTrouble,
+    // iteration limit, infeasible probe), the stored duals are stale
+    // garbage and must not drive cut deletion. Dominance retirement below
+    // is independent of either condition.
+    if (lpBuilt_ && lpDualsFresh_) {
+        const auto& duals = lp_.duals();
+        for (PoolCut& pc : cutPool_) {
+            if (pc.lpIndex < 0 || pc.lpIndex >= static_cast<int>(duals.size()))
+                continue;
+            if (std::fabs(duals[pc.lpIndex]) > 1e-9)
+                pc.age = 0;
+            else
+                ++pc.age;
         }
     }
-    if (kept.size() == cutPool_.size()) return;
+
+    bool anyRetired = false;
+    for (const PoolCut& pc : cutPool_)
+        if (pc.retired) {
+            anyRetired = true;
+            break;
+        }
+
+    // Overflow pruning: drop only as many long-non-binding cuts (age >= 2,
+    // oldest first) as needed to get back under the budget. The blind sweep
+    // this replaces deleted *every* age-2 cut on overflow, throwing away
+    // rows that were binding two nodes ago.
+    const int maxPool = params_.getInt("separating/maxpoolsize", 300);
+    const int overflow = static_cast<int>(cutPool_.size()) - maxPool;
+    std::vector<char> drop(cutPool_.size(), 0);
+    int toDrop = 0;
+    if (overflow > 0) {
+        std::vector<std::pair<int, std::size_t>> byAge;
+        for (std::size_t i = 0; i < cutPool_.size(); ++i)
+            if (!cutPool_[i].retired && cutPool_[i].age >= 2)
+                byAge.emplace_back(cutPool_[i].age, i);
+        std::stable_sort(byAge.begin(), byAge.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.first > b.first;
+                         });
+        for (const auto& [age, i] : byAge) {
+            if (toDrop >= overflow) break;
+            (void)age;
+            drop[i] = 1;
+            ++toDrop;
+        }
+    }
+    if (!anyRetired && toDrop == 0) return;
+
+    std::vector<PoolCut> kept;
+    kept.reserve(cutPool_.size() - static_cast<std::size_t>(toDrop));
+    for (std::size_t i = 0; i < cutPool_.size(); ++i) {
+        PoolCut& pc = cutPool_[i];
+        if (pc.retired) {
+            // Plugin-initiated retirement: the plugin already dropped the
+            // cut from its own pool, no need to echo the token back.
+            ++stats_.cutsRetired;
+        } else if (drop[i]) {
+            // Solver-initiated drop: report the token so pooling plugins
+            // unregister the cut and can re-admit it if it re-violates.
+            retiredTokens_.push_back(pc.token);
+            ++stats_.cutsRetired;
+        } else {
+            kept.push_back(std::move(pc));
+        }
+    }
     cutPool_ = std::move(kept);
-    cutAge_ = std::move(keptAge);
+    // The LP still carries the dropped rows until the lazy rebuild; until
+    // then no pool cut may claim an LP position (leaving the pre-prune row
+    // ids in place here is exactly the stale-index bug this replaces).
+    for (PoolCut& pc : cutPool_) pc.lpIndex = -1;
     lpBuilt_ = false;  // rebuilt lazily with the trimmed pool
 }
 
@@ -1010,7 +1060,7 @@ std::int64_t Solver::step() {
 
             if (round >= maxSepaRounds) break;
             // Separation: plugins first, then constraint handlers.
-            pendingCuts_.clear();
+            dropPendingCuts();
             int cuts = 0;
             for (auto& s : separators_) cuts += s->separate(*this, relaxSol);
             for (auto& h : conshdlrs_) cuts += h->separate(*this, relaxSol);
@@ -1036,8 +1086,16 @@ std::int64_t Solver::step() {
             if (rst != lp::SolveStatus::Optimal) break;
             lpObj_ = lp_.objective() + model_.objOffset;
             ++round;
+            // LP-leanness sample: rows the LP carries after this round
+            // (model rows + surviving pool cuts + managed rows).
+            ++stats_.sepaRounds;
+            stats_.sepaLpRowsSum += lp_.numRows();
             // Tailing off: stop separating on negligible improvement.
-            if (lpObj_ < lastObj + 1e-7 && round > 2) {
+            // A negative threshold disables the stall exit, so separation
+            // runs to its fixpoint (no violated cuts) or the round limit.
+            const double tailOff =
+                params_.getReal("separating/tailoffeps", 1e-7);
+            if (tailOff >= 0.0 && lpObj_ < lastObj + tailOff && round > 2) {
                 node.lowerBound = std::max(node.lowerBound, lpObj_);
                 relaxSol = lp_.primal();
                 break;
@@ -1077,14 +1135,14 @@ std::int64_t Solver::step() {
         // Integral but violated: let handlers enforce (cut or branch).
         BranchDecision dec;
         int enforceCuts = 0;
-        pendingCuts_.clear();
+        dropPendingCuts();
         for (auto& h : conshdlrs_) {
             enforceCuts += h->enforce(*this, relaxSol, dec);
             if (!dec.empty()) break;
         }
         if (enforceCuts > 0 && !lpBuilt_) {
             // No LP to carry cuts (relaxator mode): cuts cannot help here.
-            pendingCuts_.clear();
+            dropPendingCuts();
             enforceCuts = 0;
         }
         if (enforceCuts > 0) {
@@ -1162,7 +1220,68 @@ std::optional<SubproblemDesc> Solver::extractOpenNode() {
     return desc;
 }
 
-void Solver::addCut(Row row) { pendingCuts_.push_back(std::move(row)); }
+std::int64_t Solver::addCut(Row row) {
+    const std::int64_t token = nextCutToken_++;
+    pendingCuts_.push_back(std::move(row));
+    pendingCutTokens_.push_back(token);
+    return token;
+}
+
+void Solver::retireCuts(const std::vector<std::int64_t>& tokens) {
+    for (const std::int64_t tok : tokens) {
+        bool found = false;
+        for (std::size_t k = 0; k < pendingCutTokens_.size(); ++k) {
+            if (pendingCutTokens_[k] == tok) {
+                // Never reached the LP: drop it outright.
+                pendingCuts_.erase(pendingCuts_.begin() +
+                                   static_cast<std::ptrdiff_t>(k));
+                pendingCutTokens_.erase(pendingCutTokens_.begin() +
+                                        static_cast<std::ptrdiff_t>(k));
+                ++stats_.cutsRetired;
+                found = true;
+                break;
+            }
+        }
+        if (found) continue;
+        for (PoolCut& pc : cutPool_) {
+            if (pc.token == tok) {
+                pc.retired = true;  // removed at the next manageCutPool()
+                break;
+            }
+        }
+    }
+}
+
+std::vector<std::int64_t> Solver::takeRetiredCutTokens() {
+    std::vector<std::int64_t> out = std::move(retiredTokens_);
+    retiredTokens_.clear();
+    return out;
+}
+
+void Solver::dropPendingCuts() {
+    // Pending cuts discarded before any LP flush (relaxator mode): report
+    // their tokens so pooling plugins unregister them — the pool must only
+    // mirror cuts that actually live in the solver.
+    for (const std::int64_t tok : pendingCutTokens_)
+        retiredTokens_.push_back(tok);
+    pendingCuts_.clear();
+    pendingCutTokens_.clear();
+}
+
+bool Solver::cutLpBindingConsistent() const {
+    std::vector<char> used;
+    if (lpBuilt_) used.assign(static_cast<std::size_t>(lp_.numRows()), 0);
+    for (const PoolCut& pc : cutPool_) {
+        if (!lpBuilt_) {
+            if (pc.lpIndex != -1) return false;
+            continue;
+        }
+        if (pc.lpIndex < 0 || pc.lpIndex >= lp_.numRows()) return false;
+        if (used[static_cast<std::size_t>(pc.lpIndex)]) return false;
+        used[static_cast<std::size_t>(pc.lpIndex)] = 1;
+    }
+    return true;
+}
 
 int Solver::addManagedRow(Row row) {
     // Managed rows start inactive: free on both sides.

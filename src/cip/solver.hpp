@@ -64,6 +64,20 @@ struct Stats {
     std::int64_t sepaBackCuts = 0;     ///< sink-side back cuts emitted
     int sepaMaxNestedDepth = 0;        ///< deepest nested re-solve chain
     double sepaSeconds = 0.0;          ///< wall time spent in separation
+
+    // LP-leanness counters: how many rows each separation round leaves in
+    // the LP (the per-worker hot path the dominance-filtered cut pool is
+    // meant to keep small). Mean rows per round = sepaLpRowsSum/sepaRounds.
+    std::int64_t sepaRounds = 0;     ///< separation rounds that added cuts
+    std::int64_t sepaLpRowsSum = 0;  ///< LP rows after each such round, summed
+
+    // Dominance cut-pool counters, reported by pooling plugins via
+    // Solver::recordCutPoolStats (e.g. the Steiner conshdlr's CutPool).
+    std::int64_t cutDupRejected = 0;        ///< exact re-finds rejected
+    std::int64_t cutDominatedRejected = 0;  ///< weaker incoming cuts rejected
+    std::int64_t cutDominatedEvicted = 0;   ///< pooled cuts evicted by subsets
+    std::int64_t cutPoolSize = 0;           ///< plugin pool size (last report)
+    std::int64_t cutsRetired = 0;  ///< LP cut rows dropped (aging/dominance)
 };
 
 class Solver {
@@ -142,8 +156,21 @@ public:
     /// Returns Infeasible if the domain becomes empty.
     ReduceResult tightenLb(int var, double v);
     ReduceResult tightenUb(int var, double v);
-    /// Add a globally valid cutting plane (flushed once per separation round).
-    void addCut(Row row);
+    /// Add a globally valid cutting plane (flushed once per separation
+    /// round). Returns a solver-lifetime token identifying the cut; plugins
+    /// that track cuts (dominance pools) use it to retire the cut later and
+    /// to recognize it among takeRetiredCutTokens().
+    std::int64_t addCut(Row row);
+    /// Retire cuts by token: a still-pending cut is dropped immediately, a
+    /// pooled cut is removed at the next manageCutPool() (its LP row goes
+    /// away with the scheduled rebuild). Used when a newly admitted cut
+    /// dominates older ones. Unknown tokens are ignored.
+    void retireCuts(const std::vector<std::int64_t>& tokens);
+    /// Tokens of cuts the solver itself dropped from its LP pool (aging or
+    /// overflow pruning) since the last call. Consuming read: pooling
+    /// plugins must unregister these so a later re-violated cut can be
+    /// re-admitted instead of being rejected as a duplicate.
+    std::vector<std::int64_t> takeRetiredCutTokens();
     /// Register a *managed* row: a row whose side bounds the owning plugin
     /// switches per node (constraint branching, e.g. SCIP-Jack's vertex
     /// branching). The row starts inactive (free). Returns a handle.
@@ -168,8 +195,29 @@ public:
             stats_.sepaMaxNestedDepth = nestedDepth;
         stats_.sepaSeconds += seconds;
     }
+    /// Accumulate dominance-pool counters (deltas since the plugin's
+    /// previous report; `poolSize` is the absolute current size).
+    void recordCutPoolStats(std::int64_t dupRejected,
+                            std::int64_t dominatedRejected,
+                            std::int64_t dominatedEvicted,
+                            std::int64_t poolSize) {
+        stats_.cutDupRejected += dupRejected;
+        stats_.cutDominatedRejected += dominatedRejected;
+        stats_.cutDominatedEvicted += dominatedEvicted;
+        stats_.cutPoolSize = poolSize;
+    }
     const Node* currentNode() const { return processing_.get(); }
     std::mt19937_64& rng() { return rng_; }
+
+    // -- cut-pool introspection (tests, diagnostics) ---------------------------
+    /// Cuts currently held in the solver's LP cut pool (excl. pending ones).
+    std::size_t cutPoolCount() const { return cutPool_.size(); }
+    /// Cuts emitted this round but not yet flushed into the LP.
+    std::size_t pendingCutCount() const { return pendingCuts_.size(); }
+    /// Checks the pool/LP binding invariant: with a built LP every pool
+    /// cut's lpIndex is a distinct valid LP row; without one every lpIndex
+    /// is -1 (the pre-fix code left stale pre-prune row ids behind here).
+    bool cutLpBindingConsistent() const;
     /// LP data from the most recent relaxation solve at this node.
     double lpObjective() const { return lpObj_; }
     const std::vector<double>& lpDuals() const;
@@ -205,10 +253,26 @@ private:
     lp::SimplexSolver lp_;
     bool lpBuilt_ = false;
     std::vector<double> lpLb_, lpUb_;  ///< bounds currently loaded in the LP
-    std::vector<Row> cutPool_;          ///< all globally valid cuts in the LP
-    std::vector<int> cutLpIndex_;       ///< LP row index per pool cut
-    std::vector<int> cutAge_;           ///< consecutive non-binding checks
-    std::vector<Row> pendingCuts_;
+
+    /// One globally valid cut living in the solver's LP cut pool. The row,
+    /// its token, its LP position and its age travel together — the parallel
+    /// cutPool_/cutLpIndex_/cutAge_ arrays this replaces could (and did)
+    /// fall out of sync when pruning touched only some of them.
+    /// Invariant: lpIndex is a valid row index of lp_ iff lpBuilt_ is true;
+    /// every pool mutation that cannot patch the indices sets lpIndex = -1
+    /// on all entries and schedules a rebuild (lpBuilt_ = false).
+    struct PoolCut {
+        Row row;
+        std::int64_t token = -1;  ///< stable id handed out by addCut()
+        int lpIndex = -1;         ///< LP row position (see invariant above)
+        int age = 0;              ///< consecutive zero-dual checks
+        bool retired = false;     ///< dominance-retired; drop at next manage
+    };
+    std::vector<PoolCut> cutPool_;
+    std::vector<Row> pendingCuts_;               ///< rows awaiting LP flush
+    std::vector<std::int64_t> pendingCutTokens_; ///< parallel to pendingCuts_
+    std::int64_t nextCutToken_ = 0;
+    std::vector<std::int64_t> retiredTokens_;    ///< drops not yet taken
     struct ManagedRow {
         Row row;        ///< coefficients; stored bounds = currently set ones
         int lpIndex = -1;
@@ -245,9 +309,14 @@ private:
     void runPresolve();
     void buildLp();
     lp::SolveStatus flushPendingCutsToLp();
-    /// Cut aging: drop long-inactive pool cuts and schedule an LP rebuild
-    /// when the pool outgrows "separating/maxpoolsize".
+    /// Cut-pool upkeep, run at node entry: age cuts against fresh duals,
+    /// remove dominance-retired cuts, and on overflow past
+    /// "separating/maxpoolsize" drop the oldest non-binding cuts (only as
+    /// many as needed). Any removal invalidates all lpIndex entries and
+    /// schedules an LP rebuild.
     void manageCutPool();
+    /// Discard pending (unflushed) cuts, reporting their tokens as retired.
+    void dropPendingCuts();
     void syncLpBounds();
     lp::SolveStatus solveLp();
     void applyNodeBounds(const Node& node);

@@ -7,6 +7,15 @@ namespace steiner {
 
 namespace {
 constexpr double kEps = 1e-12;
+/// Certification epsilon shared by the augmentation cap and emitIfNew's
+/// violation test. Both compare against threshold = 1 - violationTol with
+/// *the same* slack: a cut is extracted iff flowValue < threshold - kCertEps
+/// and certified iff lpActivity < threshold - kCertEps, and the forward/back
+/// cut capacity equals the flow value (activity <= capacity, creep arcs only
+/// widen it), so every extracted cut passes certification. The old code
+/// capped augmentation at threshold - 1e-7 but certified against threshold
+/// exactly, silently losing every cut with activity inside that 1e-7 band.
+constexpr double kCertEps = 1e-9;
 }
 
 CutSeparationEngine::CutSeparationEngine(const SapInstance& inst)
@@ -106,8 +115,9 @@ bool CutSeparationEngine::emitIfNew(SteinerCut cut,
                                     bool isBackCut, int depth) {
     if (cut.vars.empty()) return false;
     // Certify the violation against the LP point itself: creep capacities
-    // and saturated arcs never enter this test.
-    if (cut.lpActivity >= 1.0 - cfg_.violationTol) return false;
+    // and saturated arcs never enter this test. The epsilon matches the
+    // augmentation cap in separateTarget exactly (see kCertEps).
+    if (cut.lpActivity >= 1.0 - cfg_.violationTol - kCertEps) return false;
     for (const auto& s : seen)
         if (s == cut.vars) return false;
     seen.push_back(cut.vars);
@@ -190,8 +200,10 @@ int CutSeparationEngine::separateTarget(int target, int budget,
             ++stats_.flowSolves;
         }
         // Hitting the cap means the residual graph may still have paths —
-        // the sides would not be cuts, so bail before extraction.
-        if (flowValue_ >= threshold - 1e-7) break;
+        // the sides would not be cuts, so bail before extraction. Same
+        // epsilon as emitIfNew's certification: whatever survives this
+        // check is guaranteed to be emitted (capacity = flow >= activity).
+        if (flowValue_ >= threshold - kCertEps) break;
 
         // Forward cut from the source-side residual reachability. Its
         // capacity equals the flow value, so it is violated by x (creep

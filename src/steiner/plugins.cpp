@@ -32,7 +32,18 @@ StpConshdlr::StpConshdlr(const SapInstance& inst)
     : ConstraintHandler(kStpPluginName, 0),
       inst_(inst),
       engine_(inst),
-      required_(inst.graph.numVertices(), 0) {}
+      required_(inst.graph.numVertices(), 0),
+      pool_(inst.model.numVars()) {}
+
+void StpConshdlr::syncRetiredCuts(cip::Solver& solver) {
+    for (const std::int64_t tok : solver.takeRetiredCutTokens()) {
+        auto it = poolIdOf_.find(tok);
+        if (it == poolIdOf_.end()) continue;  // not one of ours
+        pool_.remove(it->second);
+        tokenOf_.erase(it->second);
+        poolIdOf_.erase(it);
+    }
+}
 
 CutSepaConfig StpConshdlr::sepaConfig(const cip::Solver& solver) const {
     const cip::ParamSet& p = solver.params();
@@ -122,6 +133,14 @@ int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
     const auto t0 = std::chrono::steady_clock::now();
     const Graph& g = inst_.graph;
     const CutSepaConfig cfg = sepaConfig(solver);
+    const cip::ParamSet& params = solver.params();
+    const bool dominance = params.getBool("stp/sepa/pooldominance", true);
+    pool_.setMaxSupport(params.getInt("separating/poolmaxsupport", 0));
+    // Mirror the solver's pool first: cuts it aged out of the LP since the
+    // last round must leave the dominance pool, or a later re-violation of
+    // the same cut would be rejected as a "duplicate" of a row that no
+    // longer exists.
+    syncRetiredCuts(solver);
     engine_.beginRound(x, cfg);
 
     std::vector<int> terms;
@@ -157,16 +176,48 @@ int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
     for (int t : engine_.orderByDeficit(terms)) {
         if (termBudget <= 0) break;
         cuts.clear();
-        const int k =
-            engine_.separateTarget(t, std::min(termBudget, perTarget), cuts);
+        engine_.separateTarget(t, std::min(termBudget, perTarget), cuts);
+        int added = 0;
         for (SteinerCut& c : cuts) {
+            int poolId = -1;
+            if (dominance) {
+                // Offer the support to the solver-lifetime pool; only cuts
+                // that survive duplicate + subset-dominance filtering reach
+                // the LP, and pooled supersets of the new cut are retired.
+                const CutPool::Verdict v =
+                    pool_.offer(c.vars, &poolId, &evictScratch_);
+                if (v == CutPool::Verdict::Duplicate ||
+                    v == CutPool::Verdict::Dominated)
+                    continue;  // an at-least-as-strong row already exists
+                if (v == CutPool::Verdict::Untracked) poolId = -1;
+                if (!evictScratch_.empty()) {
+                    retireScratch_.clear();
+                    for (int pid : evictScratch_) {
+                        auto it = tokenOf_.find(pid);
+                        if (it == tokenOf_.end()) continue;
+                        retireScratch_.push_back(it->second);
+                        poolIdOf_.erase(it->second);
+                        tokenOf_.erase(it);
+                    }
+                    solver.retireCuts(retireScratch_);
+                }
+            }
             std::vector<std::pair<int, double>> coefs;
             coefs.reserve(c.vars.size());
             for (int var : c.vars) coefs.emplace_back(var, 1.0);
-            solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
+            const std::int64_t token =
+                solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
+            if (poolId >= 0) {
+                tokenOf_[poolId] = token;
+                poolIdOf_[token] = poolId;
+            }
+            ++added;
         }
-        termBudget -= k;
-        termCuts += k;
+        // Budget accounting runs on cuts actually handed to the LP: rounds
+        // with many pool rejections are free to probe more targets without
+        // growing the LP past the round budget.
+        termBudget -= added;
+        termCuts += added;
     }
     int vertBudget = total - termCuts;
     int vertCuts = 0;
@@ -201,6 +252,13 @@ int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
         es.nestedCuts - reported_.nestedCuts,
         es.backCuts - reported_.backCuts, es.maxNestedDepth, seconds);
     reported_ = es;
+    const CutPoolStats& ps = pool_.stats();
+    solver.recordCutPoolStats(
+        ps.dupRejected - reportedPool_.dupRejected,
+        ps.dominatedRejected - reportedPool_.dominatedRejected,
+        ps.dominatedEvicted - reportedPool_.dominatedEvicted,
+        static_cast<std::int64_t>(pool_.size()));
+    reportedPool_ = ps;
     return termCuts + vertCuts;
 }
 
@@ -449,6 +507,14 @@ void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
     if (!p.has("stp/sepa/violationtol"))
         p.setReal("stp/sepa/violationtol", 0.05);
     if (!p.has("stp/sepa/maxnested")) p.setInt("stp/sepa/maxnested", 8);
+    // Solver-lifetime dominance-filtered cut pool: reject duplicate and
+    // dominated (superset-support) cuts across rounds, retire pooled cuts a
+    // stronger subset cut supersedes. 0 = pool every cut regardless of
+    // support width.
+    if (!p.has("stp/sepa/pooldominance"))
+        p.setBool("stp/sepa/pooldominance", true);
+    if (!p.has("separating/poolmaxsupport"))
+        p.setInt("separating/poolmaxsupport", 0);
 }
 
 }  // namespace steiner

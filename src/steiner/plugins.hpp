@@ -20,6 +20,7 @@
 
 #include "cip/plugins.hpp"
 #include "cip/solver.hpp"
+#include "steiner/cutpool.hpp"
 #include "steiner/cutsep.hpp"
 #include "steiner/stpmodel.hpp"
 
@@ -50,10 +51,15 @@ public:
 
     /// The separation engine (exposed for tests and benchmarks).
     const CutSeparationEngine& engine() const { return engine_; }
+    /// The solver-lifetime dominance pool (exposed for tests/benchmarks).
+    const CutPool& cutPool() const { return pool_; }
 
 private:
     CutSepaConfig sepaConfig(const cip::Solver& solver) const;
     std::vector<std::pair<int, double>> inArcCoefs(int v) const;
+    /// Drop cuts the solver aged out of its LP pool from the dominance pool
+    /// (consumes Solver::takeRetiredCutTokens), so they can be re-admitted.
+    void syncRetiredCuts(cip::Solver& solver);
 
     const SapInstance& inst_;
     CutSeparationEngine engine_;
@@ -61,6 +67,17 @@ private:
     std::vector<signed char> required_;  ///< current node: extra terminals
     std::unordered_map<int, int> vertexRow_;  ///< v -> managed indeg>=1 row
     std::vector<std::pair<int, int>> localCuts_;  ///< (vertex, row handle)
+
+    // Solver-lifetime dominance pool over the *global* terminal cuts (the
+    // node-local vertex cuts above are only valid while their vertex is
+    // required and must never enter it). Maps keep the pool ids and the
+    // solver's cut tokens in 1:1 correspondence.
+    CutPool pool_;
+    CutPoolStats reportedPool_;  ///< pool stats already pushed to the solver
+    std::unordered_map<int, std::int64_t> tokenOf_;   ///< pool id -> token
+    std::unordered_map<std::int64_t, int> poolIdOf_;  ///< token -> pool id
+    std::vector<int> evictScratch_;
+    std::vector<std::int64_t> retireScratch_;
 };
 
 class StpVertexBranching : public cip::Branchrule {

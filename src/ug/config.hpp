@@ -63,6 +63,14 @@ struct UgConfig {
     int statusIntervalSteps = 1;   ///< worker status report frequency (steps)
     int poolTargetPerSolver = 1;   ///< desired pool size per (possibly idle) solver
 
+    /// Collect-mode ramp-down: a solver sitting on exactly one open node may
+    /// be engaged as a supplier (and told it may ship that last node) when
+    /// idle solvers exist and its effort-weighted frontier — open nodes
+    /// times average simplex iterations per node — is at least this heavy.
+    /// Below the threshold single-node solvers are left alone, as shipping
+    /// a cheap last node just moves the work without parallelizing it.
+    double collectHeavySingleWeight = 256.0;
+
     // SimEngine knobs (ignored by ThreadEngine).
     double costUnitSeconds = 1e-4;  ///< virtual seconds per base-solver work unit
     double msgLatency = 1e-3;       ///< virtual message latency (seconds)
@@ -111,6 +119,10 @@ struct UgStats {
     long long strongBranchProbes = 0; ///< strong-branching LP probes
     long long sepaFlowSolves = 0;     ///< separation oracle (max-flow) calls
     long long sepaCuts = 0;           ///< violated cuts found by separators
+    long long cutPoolDupRejected = 0;       ///< exact re-finds rejected
+    long long cutPoolDominatedRejected = 0; ///< dominated incoming cuts rejected
+    long long cutPoolDominatedEvicted = 0;  ///< pooled cuts evicted by subsets
+    long long maxCutPoolSize = 0;     ///< largest reported dominance pool
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart

@@ -47,6 +47,11 @@ void LoadCoordinator::foldLpEffort(const LpEffort& e) {
     stats_.strongBranchProbes += e.strongBranchProbes;
     stats_.sepaFlowSolves += e.sepaFlowSolves;
     stats_.sepaCuts += e.sepaCuts;
+    stats_.cutPoolDupRejected += e.poolDupRejected;
+    stats_.cutPoolDominatedRejected += e.poolDominatedRejected;
+    stats_.cutPoolDominatedEvicted += e.poolDominatedEvicted;
+    stats_.maxCutPoolSize = std::max(stats_.maxCutPoolSize,
+                                     static_cast<long long>(e.poolSize));
 }
 
 void LoadCoordinator::noteActivity() {
@@ -154,14 +159,25 @@ void LoadCoordinator::updateCollectMode() {
         // Ask the solvers holding the heaviest frontiers to share — heaviest
         // in LP effort, not raw node count: nodes that cost many simplex
         // iterations are the ones worth spreading across ranks. Engage
-        // suppliers in weight order only until their surplus (every supplier
-        // keeps one node for itself) covers the pool deficit, so cheap
-        // frontiers keep their warm-start locality.
+        // suppliers in weight order only until their surplus (a supplier
+        // normally keeps one node for itself) covers the pool deficit, so
+        // cheap frontiers keep their warm-start locality.
+        //
+        // Ramp-down exception: with idle solvers around, a solver sitting on
+        // exactly ONE open node is also a candidate when the effort-weighted
+        // frontier marks that node heavy — it may ship its last node
+        // (collectKeep = 0) and go idle, letting the coordinator hand the
+        // heavy subtree to a rank that can split it. The old >= 2 gate made
+        // such solvers permanently unable to supply, serializing the tail of
+        // the search on whichever rank happened to hold the last hard node.
         std::vector<int> cands;
         for (int r = 1; r <= cfg_.numSolvers; ++r) {
             const SolverInfo& si = info_[r];
-            if (si.active && !si.collecting && si.openNodes >= 2)
-                cands.push_back(r);
+            if (!si.active || si.collecting) continue;
+            const bool heavySingle =
+                si.openNodes == 1 && idle > 0 &&
+                frontierWeight(si) >= cfg_.collectHeavySingleWeight;
+            if (si.openNodes >= 2 || heavySingle) cands.push_back(r);
         }
         std::stable_sort(cands.begin(), cands.end(), [&](int a, int b) {
             return frontierWeight(info_[a]) > frontierWeight(info_[b]);
@@ -170,11 +186,13 @@ void LoadCoordinator::updateCollectMode() {
                                   static_cast<long long>(pool_.size());
         long long expected = 0;
         for (int r : cands) {
+            const int keep = info_[r].openNodes >= 2 ? 1 : 0;
             Message m;
             m.tag = Tag::StartCollecting;
+            m.collectKeep = keep;
             comm_.send(0, r, m);
             info_[r].collecting = true;
-            expected += info_[r].openNodes - 1;
+            expected += info_[r].openNodes - keep;
             if (expected >= deficit) break;
         }
     } else if (pool_.size() >= 2 * target + 2) {
@@ -299,6 +317,11 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.nodesProcessed = m.nodesProcessed;
             si.busyUnits = m.busyCost;
             si.lpEffort = m.lpEffort;
+            // The pool-size gauge peaks mid-subproblem, so track it from
+            // Status reports too (foldLpEffort only sees terminal reports).
+            stats_.maxCutPoolSize =
+                std::max(stats_.maxCutPoolSize,
+                         static_cast<long long>(m.lpEffort.poolSize));
             if (racingPhase_ && !racingWinnerPicked_ &&
                 m.openNodes >= cfg_.racingOpenNodesLimit)
                 pickRacingWinner();

@@ -51,6 +51,13 @@ struct LpEffort {
     std::int64_t strongBranchProbes = 0;///< strong-branching LP probes
     std::int64_t sepaFlowSolves = 0;    ///< separation oracle (max-flow) calls
     std::int64_t sepaCuts = 0;          ///< violated cuts found by separators
+
+    // Dominance-filtered cut-pool counters (how lean the worker keeps its
+    // LP): rejected/evicted cuts and the current pool size.
+    std::int64_t poolDupRejected = 0;        ///< exact re-finds rejected
+    std::int64_t poolDominatedRejected = 0;  ///< weaker incoming cuts rejected
+    std::int64_t poolDominatedEvicted = 0;   ///< pooled cuts evicted by subsets
+    std::int64_t poolSize = 0;               ///< current dominance-pool size
 };
 
 /// One message. Fields are used depending on the tag; unused fields stay at
@@ -72,6 +79,9 @@ struct Message {
     LpEffort lpEffort;               ///< Status / Terminated / RacingFinished
     int settingId = -1;              ///< racing setting index
     bool completed = true;           ///< Terminated: subproblem fully solved
+    int collectKeep = 1;             ///< StartCollecting: minimum open nodes
+                                     ///< the supplier must keep for itself
+                                     ///< (0: may ship its last open node)
     cip::ParamSet params;            ///< RacingSubproblem settings
     std::string text;                ///< diagnostics
 };

@@ -103,6 +103,7 @@ void ParaSolver::finishSubproblem(BaseStatus status) {
     active_ = false;
     racing_ = false;
     collectMode_ = false;  // the coordinator resets its flag on Terminated
+    collectKeep_ = 1;
     solver_.reset();
 }
 
@@ -157,9 +158,15 @@ void ParaSolver::handleMessage(const Message& m) {
             break;
         case Tag::StartCollecting:
             collectMode_ = true;
+            // collectKeep = 0 marks a ramp-down engagement: the coordinator
+            // decided this solver's single remaining node is heavy enough to
+            // be worth re-parallelizing, so it may ship its last node and go
+            // idle.
+            collectKeep_ = m.collectKeep < 0 ? 0 : m.collectKeep;
             break;
         case Tag::StopCollecting:
             collectMode_ = false;
+            collectKeep_ = 1;
             break;
         case Tag::SolutionPush:
             if (m.sol.valid() &&
@@ -195,9 +202,12 @@ std::int64_t ParaSolver::work() {
         stepsSinceStatus_ = 0;
     }
 
-    // In collect mode, ship the best candidate open node (keep at least one
-    // so this solver stays busy).
-    if (collectMode_ && !racing_ && solver_->numOpenNodes() >= 2) {
+    // In collect mode, ship the best candidate open node. Normally at least
+    // one node is kept so this solver stays busy; a ramp-down engagement
+    // (collectKeep_ == 0) allows shipping the last node so its heavy subtree
+    // can be split across idle ranks.
+    if (collectMode_ && !racing_ &&
+        solver_->numOpenNodes() > static_cast<std::int64_t>(collectKeep_)) {
         if (auto node = solver_->extractOpenNode()) {
             Message out;
             out.tag = Tag::NodeTransfer;

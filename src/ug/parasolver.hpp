@@ -58,6 +58,8 @@ private:
     bool terminated_ = false;
     bool racing_ = false;
     bool collectMode_ = false;
+    int collectKeep_ = 1;  ///< min open nodes kept while collecting (from
+                           ///< StartCollecting; 0 = may ship the last node)
     int settingId_ = -1;
     int stepsSinceStatus_ = 0;
     std::int64_t busyUnits_ = 0;

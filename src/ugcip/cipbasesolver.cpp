@@ -48,6 +48,10 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.strongBranchProbes = s.strongBranchProbes;
     e.sepaFlowSolves = s.sepaFlowSolves;
     e.sepaCuts = s.sepaCutsFound;
+    e.poolDupRejected = s.cutDupRejected;
+    e.poolDominatedRejected = s.cutDominatedRejected;
+    e.poolDominatedEvicted = s.cutDominatedEvicted;
+    e.poolSize = s.cutPoolSize;
     return e;
 }
 

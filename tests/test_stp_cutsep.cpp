@@ -355,6 +355,98 @@ TEST(CutSepEngine, CreepFlowCutsStayViolatedAndValid) {
     EXPECT_GT(total, 0);
 }
 
+// --- epsilon agreement between the augmentation cap and certification --------
+
+namespace {
+
+// Chain root(T) - mid - term(T) with the same x value on both path arcs.
+struct ChainPoint {
+    SapInstance inst;
+    std::vector<int> tail, head;
+    std::vector<double> x;
+};
+
+ChainPoint chainWithUniformFlow(double value, double midTermValue = -1.0) {
+    Graph g(3);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, 1.0);
+    g.setTerminal(0, true);
+    g.setTerminal(2, true);
+    ReductionStats none;
+    ChainPoint cp{buildSapInstance(std::move(g), none), {}, {}, {}};
+    varEndpoints(cp.inst, cp.tail, cp.head);
+    cp.x.assign(cp.tail.size(), 0.0);
+    for (std::size_t var = 0; var < cp.tail.size(); ++var) {
+        if (cp.tail[var] == 0 && cp.head[var] == 1) cp.x[var] = value;
+        if (cp.tail[var] == 1 && cp.head[var] == 2)
+            cp.x[var] = midTermValue < 0.0 ? value : midTermValue;
+    }
+    return cp;
+}
+
+}  // namespace
+
+TEST(CutSepEngine, HairlineViolationInsideOldDeadBandIsEmitted) {
+    // Max flow = 1 - tol - 5e-8: genuinely violated (by far more than the
+    // 1e-9 certification epsilon), but inside the 1e-7 band where the old
+    // augmentation cap broke out *before* certification ever saw the cut.
+    CutSepaConfig cfg;
+    cfg.nestedCuts = false;
+    cfg.backCuts = false;
+    cfg.creepFlow = false;
+    const double threshold = 1.0 - cfg.violationTol;
+    ChainPoint cp = chainWithUniformFlow(threshold - 5e-8);
+
+    CutSeparationEngine eng(cp.inst);
+    eng.beginRound(cp.x, cfg);
+    std::vector<SteinerCut> cuts;
+    const int found = eng.separateTarget(2, 4, cuts);
+    ASSERT_GE(found, 1);
+    for (const SteinerCut& cut : cuts) {
+        // Every emitted cut is certified violated and a valid Steiner cut.
+        EXPECT_LT(cut.lpActivity, threshold);
+        EXPECT_FALSE(
+            reachableAvoiding(cp.inst, cp.tail, cp.head, cut.vars, 2));
+    }
+}
+
+TEST(CutSepEngine, AtThresholdFlowYieldsNoCut) {
+    // Max flow exactly at 1 - tol: not violated, so with the unified epsilon
+    // the augmentation cap must break out without extracting anything.
+    CutSepaConfig cfg;
+    cfg.nestedCuts = false;
+    cfg.backCuts = false;
+    ChainPoint cp = chainWithUniformFlow(1.0 - cfg.violationTol);
+
+    CutSeparationEngine eng(cp.inst);
+    eng.beginRound(cp.x, cfg);
+    std::vector<SteinerCut> cuts;
+    EXPECT_EQ(eng.separateTarget(2, 4, cuts), 0);
+    EXPECT_TRUE(cuts.empty());
+}
+
+TEST(CutSepEngine, CreepFlowStillEmitsZeroActivityBoundaryCut) {
+    // x(root->mid) nearly saturated, x(mid->term) = 0: the max flow consists
+    // purely of creep capacity, and the min cut {mid->term} has activity 0.
+    // The creep epsilon is sized so it can never push the flow across the
+    // (shared) certification threshold, so the cut must be found and pass
+    // certification against the raw x.
+    CutSepaConfig cfg;
+    cfg.nestedCuts = false;
+    cfg.backCuts = false;
+    cfg.creepFlow = true;
+    ChainPoint cp = chainWithUniformFlow(0.9999, 0.0);
+
+    CutSeparationEngine eng(cp.inst);
+    eng.beginRound(cp.x, cfg);
+    std::vector<SteinerCut> cuts;
+    const int found = eng.separateTarget(2, 4, cuts);
+    ASSERT_GE(found, 1);
+    EXPECT_NEAR(cuts[0].lpActivity, 0.0, 1e-12);
+    EXPECT_FALSE(
+        reachableAvoiding(cp.inst, cp.tail, cp.head, cuts[0].vars, 2));
+}
+
 // --- nested/back cuts strengthen the root bound ------------------------------
 
 TEST(CutSepEngine, NestedAndBackCutsDoNotWeakenRootBound) {

@@ -77,6 +77,11 @@ public:
         e.iterations = processed_ * 5;
         e.factorizations = processed_;
         e.basisWarmStarts = processed_;
+        // Synthetic cut-pool counters: two duplicate rejections per node and
+        // a constant pool size, so the folded totals are exact.
+        e.poolDupRejected = processed_ * 2;
+        e.poolDominatedRejected = processed_;
+        e.poolSize = 7;
         return e;
     }
     std::optional<cip::SubproblemDesc> extractOpenNode() override {
@@ -193,6 +198,12 @@ TEST(UgProtocol, LpEffortIsAggregatedIntoRunStats) {
     EXPECT_EQ(res.stats.lpFactorizations, res.stats.totalNodesProcessed);
     EXPECT_EQ(res.stats.basisWarmStarts, res.stats.totalNodesProcessed);
     EXPECT_EQ(res.stats.strongBranchProbes, 0);
+    // Cut-pool counters ride the same LpEffort reports.
+    EXPECT_EQ(res.stats.cutPoolDupRejected,
+              res.stats.totalNodesProcessed * 2);
+    EXPECT_EQ(res.stats.cutPoolDominatedRejected,
+              res.stats.totalNodesProcessed);
+    EXPECT_EQ(res.stats.maxCutPoolSize, 7);
 }
 
 TEST(UgProtocol, RacingPicksWinnerAndRecordsSetting) {
@@ -300,4 +311,195 @@ TEST(UgProtocol, MoreSolversNeverIncreaseMakespanOnWideTree) {
         EXPECT_LE(res.elapsed, prev * 1.10) << n;  // 10% protocol tolerance
         prev = res.elapsed;
     }
+}
+
+// --- collect-mode ramp-down: heavy single-node suppliers ----------------------
+
+#include "ug/loadcoordinator.hpp"
+#include "ug/parasolver.hpp"
+
+namespace {
+
+/// ParaComm that just records every send (src is stamped like the real
+/// comms do), for driving LoadCoordinator/ParaSolver handlers directly.
+class RecordingComm : public ug::ParaComm {
+public:
+    explicit RecordingComm(int size) : size_(size) {}
+    int size() const override { return size_; }
+    void send(int src, int dest, ug::Message msg) override {
+        msg.src = src;
+        sent.emplace_back(dest, std::move(msg));
+    }
+    double now(int) const override { return 0.0; }
+
+    int count(ug::Tag tag, int dest) const {
+        int n = 0;
+        for (const auto& [d, m] : sent)
+            if (d == dest && m.tag == tag) ++n;
+        return n;
+    }
+    const ug::Message* last(ug::Tag tag, int dest) const {
+        const ug::Message* found = nullptr;
+        for (const auto& [d, m] : sent)
+            if (d == dest && m.tag == tag) found = &m;
+        return found;
+    }
+
+    std::vector<std::pair<int, ug::Message>> sent;
+
+private:
+    int size_;
+};
+
+/// Base solver stuck on exactly one open node forever: the node never
+/// finishes on its own, but extraction may drain it to zero (mimicking the
+/// cip solver, where finished() only trips on the step after the tree
+/// empties).
+class LastNodeMock : public ug::BaseSolver {
+public:
+    void load(const cip::SubproblemDesc&, const cip::Solution*) override {
+        open_ = 1;
+        finished_ = false;
+    }
+    std::int64_t step() override {
+        if (open_ == 0) {
+            finished_ = true;
+            return 1;
+        }
+        ++processed_;
+        return 1;
+    }
+    bool finished() const override { return finished_; }
+    ug::BaseStatus status() const override {
+        return finished_ ? ug::BaseStatus::Optimal : ug::BaseStatus::Working;
+    }
+    double dualBound() const override { return -1.0; }
+    int numOpenNodes() const override { return open_; }
+    std::int64_t nodesProcessed() const override { return processed_; }
+    const cip::Solution& incumbent() const override { return best_; }
+    void injectSolution(const cip::Solution& sol) override { best_ = sol; }
+    ug::LpEffort lpEffort() const override { return {}; }
+    std::optional<cip::SubproblemDesc> extractOpenNode() override {
+        if (open_ < 1) return std::nullopt;
+        --open_;
+        cip::SubproblemDesc d;
+        d.boundChanges.push_back({0, 0, 1});
+        d.lowerBound = -1.0;
+        return d;
+    }
+    void setIncumbentCallback(
+        std::function<void(const cip::Solution&)> cb) override {
+        cb_ = std::move(cb);
+    }
+
+private:
+    int open_ = 0;
+    bool finished_ = false;
+    std::int64_t processed_ = 0;
+    cip::Solution best_;
+    std::function<void(const cip::Solution&)> cb_;
+};
+
+class LastNodeFactory : public ug::BaseSolverFactory {
+public:
+    std::unique_ptr<ug::BaseSolver> create(const cip::ParamSet&) override {
+        return std::make_unique<LastNodeMock>();
+    }
+};
+
+ug::Message statusReport(int src, std::int64_t openNodes,
+                         std::int64_t nodesProcessed,
+                         std::int64_t lpIterations) {
+    ug::Message m;
+    m.tag = ug::Tag::Status;
+    m.src = src;
+    m.dualBound = -10.0;
+    m.openNodes = openNodes;
+    m.nodesProcessed = nodesProcessed;
+    m.lpEffort.iterations = lpIterations;
+    return m;
+}
+
+}  // namespace
+
+TEST(UgCollectMode, HeavySingleNodeSolverIsEngagedWithKeepZero) {
+    ug::UgConfig cfg;
+    cfg.numSolvers = 2;
+    RecordingComm comm(cfg.numSolvers + 1);
+    ug::LoadCoordinator lc(comm, cfg);
+    lc.start({});  // root goes to rank 1; rank 2 stays idle
+
+    // Rank 1 sits on ONE open node that has eaten 1000 simplex iterations
+    // per processed node: effort-weighted frontier 1000 >= the 256 default
+    // threshold. The pre-fix >= 2 gate never engaged such a solver, leaving
+    // rank 2 idle for the rest of the run.
+    lc.handleMessage(statusReport(1, 1, 4, 4000));
+
+    ASSERT_EQ(comm.count(ug::Tag::StartCollecting, 1), 1);
+    const ug::Message* sc = comm.last(ug::Tag::StartCollecting, 1);
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->collectKeep, 0);  // may ship its last open node
+}
+
+TEST(UgCollectMode, CheapSingleNodeSolverIsLeftAlone) {
+    ug::UgConfig cfg;
+    cfg.numSolvers = 2;
+    RecordingComm comm(cfg.numSolvers + 1);
+    ug::LoadCoordinator lc(comm, cfg);
+    lc.start({});
+
+    // Same single open node, but trivial LP effort (weight 1 < 256):
+    // shipping it would just move the work, not parallelize it.
+    lc.handleMessage(statusReport(1, 1, 4, 4));
+    EXPECT_EQ(comm.count(ug::Tag::StartCollecting, 1), 0);
+}
+
+TEST(UgCollectMode, MultiNodeSupplierStillKeepsOneNode) {
+    ug::UgConfig cfg;
+    cfg.numSolvers = 2;
+    RecordingComm comm(cfg.numSolvers + 1);
+    ug::LoadCoordinator lc(comm, cfg);
+    lc.start({});
+
+    lc.handleMessage(statusReport(1, 5, 4, 4000));
+    ASSERT_EQ(comm.count(ug::Tag::StartCollecting, 1), 1);
+    const ug::Message* sc = comm.last(ug::Tag::StartCollecting, 1);
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->collectKeep, 1);  // ordinary supplier keeps one for itself
+}
+
+TEST(UgCollectMode, CollectKeepZeroShipsLastNodeThenTerminates) {
+    ug::UgConfig cfg;
+    cfg.numSolvers = 1;
+    cfg.statusIntervalSteps = 1000000;  // suppress Status noise
+    RecordingComm comm(2);
+    LastNodeFactory factory;
+    ug::ParaSolver ps(1, comm, factory, cfg);
+
+    ug::Message sub;
+    sub.tag = ug::Tag::Subproblem;
+    ps.handleMessage(sub);
+
+    // Default keep (1): the last open node must stay put.
+    ug::Message sc;
+    sc.tag = ug::Tag::StartCollecting;
+    sc.collectKeep = 1;
+    ps.handleMessage(sc);
+    ps.work();
+    EXPECT_EQ(comm.count(ug::Tag::NodeTransfer, 0), 0);
+
+    // Ramp-down engagement: keep 0 ships the last node...
+    sc.collectKeep = 0;
+    ps.handleMessage(sc);
+    ps.work();
+    EXPECT_EQ(comm.count(ug::Tag::NodeTransfer, 0), 1);
+
+    // ...and the next step finds the tree empty and reports Terminated with
+    // completed=true (the shipped node carries the remaining coverage).
+    ps.work();
+    ASSERT_EQ(comm.count(ug::Tag::Terminated, 0), 1);
+    const ug::Message* term = comm.last(ug::Tag::Terminated, 0);
+    ASSERT_NE(term, nullptr);
+    EXPECT_TRUE(term->completed);
+    EXPECT_FALSE(ps.hasWork());
 }
