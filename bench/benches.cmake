@@ -39,6 +39,26 @@ add_test(NAME bench-smoke
                  --benchmark_out_format=json)
 set_tests_properties(bench-smoke PROPERTIES LABELS bench-smoke)
 
+# Warm-resolve regression guard: diff the BENCH_lp.json bench-smoke just
+# produced against the committed baseline and fail on a >15% geometric-mean
+# slowdown across the BM_SimplexWarm/<n> family (the warm-reoptimization
+# path the LP kernel work targets). Requires a python3 on PATH; the
+# FIXTURES pair guarantees bench-smoke ran first in the same ctest
+# invocation.
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_Interpreter_FOUND)
+  add_test(NAME bench-lp-regression
+           COMMAND ${Python3_EXECUTABLE}
+                   ${CMAKE_SOURCE_DIR}/bench/check_lp_regression.py
+                   ${CMAKE_BINARY_DIR}/BENCH_lp.json
+                   ${CMAKE_SOURCE_DIR}/bench/BENCH_lp_baseline.json)
+  set_tests_properties(bench-smoke PROPERTIES
+                       FIXTURES_SETUP bench-lp-json)
+  set_tests_properties(bench-lp-regression PROPERTIES
+                       LABELS bench-smoke
+                       FIXTURES_REQUIRED bench-lp-json)
+endif()
+
 # Same smoke treatment for the Steiner cut separation engine: archives the
 # engine-vs-per-terminal-rebuild comparison (with cuts / flow-solve /
 # augmentation counters) in BENCH_stp.json.

@@ -130,6 +130,9 @@ void simplexWarmLoopSparse(benchmark::State& state, lp::Factorization kind) {
     }
     const long iters0 = s.iterations();
     const long factor0 = s.factorizations();
+    const long hyper0 = s.hyperSolves();
+    const long dense0 = s.denseSolves();
+    const long nnz0 = s.solveNnzSum();
     int j = 0;
     bool down = true;
     for (auto _ : state) {
@@ -146,6 +149,15 @@ void simplexWarmLoopSparse(benchmark::State& state, lp::Factorization kind) {
     state.counters["factor_per_resolve"] =
         static_cast<double>(s.factorizations() - factor0) / resolves;
     state.counters["fill"] = static_cast<double>(s.factorFill());
+    // Sparsity split of the warm phase's basis solves: reach-kernel vs
+    // dense-loop answers, and the mean result support they produced.
+    const double hyper = static_cast<double>(s.hyperSolves() - hyper0);
+    const double dense = static_cast<double>(s.denseSolves() - dense0);
+    state.counters["hyper_solves"] = hyper / resolves;
+    state.counters["dense_solves"] = dense / resolves;
+    state.counters["mean_result_nnz"] =
+        static_cast<double>(s.solveNnzSum() - nnz0) /
+        std::max(hyper + dense, 1.0);
 }
 
 // Sizes span the realistic Steiner-cut range (SteinLib instances have

@@ -225,6 +225,13 @@ void Solver::buildLp() {
         params_.getString("lp/factorization", "lu") == "pfi"
             ? lp::Factorization::PFI
             : lp::Factorization::LU);
+    // Dual pricing rule: "auto" (default) uses exact dual steepest-edge for
+    // bound-changed resolves and devex for cold solves (see solveLp);
+    // "devex"/"dse" pin the rule for comparison runs.
+    const std::string pricing = params_.getString("lp/pricing", "auto");
+    lpPricingAuto_ = (pricing == "auto");
+    lp_.setPricing(pricing == "dse" ? lp::Pricing::DSE : lp::Pricing::Devex);
+    lp_.setHyperSparse(params_.getBool("lp/hypersparse", true));
     lp_.load(lpm);
     lpLb_ = curLb_;
     lpUb_ = curUb_;
@@ -239,7 +246,7 @@ lp::SolveStatus Solver::flushPendingCutsToLp() {
     const long before = lp_.iterations();
     const lp::SolveStatus st = lp_.addRowsAndResolve(pendingCuts_);
     stats_.lpIterations += lp_.iterations() - before;
-    stats_.lpFactorizations = lp_.factorizations();
+    syncLpStats();
     pendingCost_ += lp_.iterations() - before;
     lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     for (std::size_t k = 0; k < pendingCuts_.size(); ++k) {
@@ -282,15 +289,86 @@ void Solver::manageCutPool() {
             break;
         }
 
-    // Overflow pruning: drop only as many long-non-binding cuts (age >= 2,
-    // oldest first) as needed to get back under the budget. The blind sweep
-    // this replaces deleted *every* age-2 cut on overflow, throwing away
-    // rows that were binding two nodes ago.
+    // Overflow pruning down to "separating/maxpoolsize". With fresh duals
+    // the keep-set is chosen by greedy dual-magnitude + orthogonality
+    // selection: a cut's base score |y_i| * ||a_i||_2 measures how hard the
+    // last optimal basis leaned on it (scale-invariant: scaling a row
+    // scales its dual inversely), and the orthogonality term keeps the
+    // survivors from being near-parallel copies of one strong cut — a
+    // bundle of parallel binding rows prices like one row but costs many.
+    // Without fresh duals the fallback drops long-non-binding cuts
+    // (age >= 2, oldest first), only as many as needed.
     const int maxPool = params_.getInt("separating/maxpoolsize", 300);
     const int overflow = static_cast<int>(cutPool_.size()) - maxPool;
     std::vector<char> drop(cutPool_.size(), 0);
     int toDrop = 0;
-    if (overflow > 0) {
+    if (overflow > 0 && lpBuilt_ && lpDualsFresh_) {
+        const auto& duals = lp_.duals();
+        std::vector<std::size_t> cand;   // non-retired pool indices
+        std::vector<double> norm, base;  // ||a_i||_2, |y_i| * ||a_i||_2
+        for (std::size_t i = 0; i < cutPool_.size(); ++i) {
+            const PoolCut& pc = cutPool_[i];
+            if (pc.retired) continue;
+            double n2 = 0.0;
+            for (const auto& [j, a] : pc.row.coefs) n2 += a * a;
+            const double nrm = std::sqrt(std::max(n2, 1e-30));
+            const double y =
+                (pc.lpIndex >= 0 &&
+                 pc.lpIndex < static_cast<int>(duals.size()))
+                    ? std::fabs(duals[pc.lpIndex])
+                    : 0.0;
+            cand.push_back(i);
+            norm.push_back(nrm);
+            base.push_back(y * nrm);
+        }
+        const int nKeep =
+            std::max(0, static_cast<int>(cand.size()) - overflow);
+        double maxBase = 0.0;
+        for (double b : base) maxBase = std::max(maxBase, b);
+        if (maxBase <= 0.0) maxBase = 1.0;  // all duals zero: pure diversity
+        // Greedy keep-set: pick the best score = dual/maxDual + 0.5 * ortho,
+        // where ortho starts at 1 and shrinks to min(ortho, 1 - |cos|)
+        // against every already-kept row. Dot products go through a dense
+        // scatter of the freshly kept row, O(sum nnz) per round.
+        std::vector<double> ortho(cand.size(), 1.0);
+        std::vector<char> kept(cand.size(), 0);
+        std::vector<double> dense(static_cast<std::size_t>(model_.numVars()),
+                                  0.0);
+        for (int pick = 0; pick < nKeep; ++pick) {
+            int best = -1;
+            double bestScore = -1.0;
+            for (std::size_t k = 0; k < cand.size(); ++k) {
+                if (kept[k]) continue;
+                const double s = base[k] / maxBase + 0.5 * ortho[k];
+                if (s > bestScore) {
+                    bestScore = s;
+                    best = static_cast<int>(k);
+                }
+            }
+            if (best < 0) break;
+            kept[best] = 1;
+            const Row& rb = cutPool_[cand[best]].row;
+            for (const auto& [j, a] : rb.coefs) dense[j] = a;
+            for (std::size_t k = 0; k < cand.size(); ++k) {
+                if (kept[k]) continue;
+                double dot = 0.0;
+                for (const auto& [j, a] : cutPool_[cand[k]].row.coefs)
+                    dot += a * dense[j];
+                const double cosv =
+                    std::fabs(dot) / (norm[best] * norm[k]);
+                ortho[k] = std::min(ortho[k], 1.0 - std::min(cosv, 1.0));
+            }
+            for (const auto& [j, a] : rb.coefs) {
+                (void)a;
+                dense[j] = 0.0;
+            }
+        }
+        for (std::size_t k = 0; k < cand.size(); ++k)
+            if (!kept[k]) {
+                drop[cand[k]] = 1;
+                ++toDrop;
+            }
+    } else if (overflow > 0) {
         std::vector<std::pair<int, std::size_t>> byAge;
         for (std::size_t i = 0; i < cutPool_.size(); ++i)
             if (!cutPool_[i].retired && cutPool_[i].age >= 2)
@@ -333,30 +411,51 @@ void Solver::manageCutPool() {
     lpBuilt_ = false;  // rebuilt lazily with the trimmed pool
 }
 
-void Solver::syncLpBounds() {
+int Solver::syncLpBounds() {
     if (!lpBuilt_) {
         buildLp();
-        return;
+        return model_.numVars();  // every bound is "new" to the fresh LP
     }
     const int n = model_.numVars();
+    int changed = 0;
     for (int j = 0; j < n; ++j) {
         if (lpLb_[j] != curLb_[j] || lpUb_[j] != curUb_[j]) {
             lp_.changeBounds(j, curLb_[j], curUb_[j]);
             lpLb_[j] = curLb_[j];
             lpUb_[j] = curUb_[j];
+            ++changed;
         }
     }
+    return changed;
+}
+
+void Solver::syncLpStats() {
+    stats_.lpFactorizations = lp_.factorizations();
+    stats_.lpHyperSolves = lp_.hyperSolves();
+    stats_.lpDenseSolves = lp_.denseSolves();
+    stats_.lpSolveNnzSum = lp_.solveNnzSum();
 }
 
 lp::SolveStatus Solver::solveLp() {
-    syncLpBounds();
+    const int changedBounds = syncLpBounds();
+    // Bound-change reoptimization (node jumps, branching, strong-branch
+    // restores): devex restarts its reference weights and misprices the
+    // early pivots, while DSE's exact row norms persist across the resolve.
+    // Measured on the Steiner-cut LP family, DSE needs ~1.4-1.5x fewer
+    // resolve iterations at every change depth from 1 to 64, so auto picks
+    // it whenever any bound moved. Cold solves start in primal phase 1,
+    // where the dual pricing rule is irrelevant — devex avoids DSE's extra
+    // FTRAN per pivot in whatever dual cleanup follows.
+    if (lpPricingAuto_)
+        lp_.setPricing(changedBounds > 0 ? lp::Pricing::DSE
+                                         : lp::Pricing::Devex);
     const long before = lp_.iterations();
     lp::SolveStatus st = lpSolutionValid_ ? lp_.resolve() : lp_.solve();
     lpSolutionValid_ = true;
     lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
     const long used = lp_.iterations() - before;
     stats_.lpIterations += used;
-    stats_.lpFactorizations = lp_.factorizations();
+    syncLpStats();
     pendingCost_ += used + 1;
     if (st == lp::SolveStatus::Optimal) lpObj_ = lp_.objective() + model_.objOffset;
     return st;
@@ -714,7 +813,7 @@ int Solver::strongBranchingVar(const std::vector<double>& x) {
             const lp::SolveStatus st = lp_.resolve();
             const long used = lp_.iterations() - before;
             stats_.lpIterations += used;
-            stats_.lpFactorizations = lp_.factorizations();
+            syncLpStats();
             pendingCost_ += used + 1;
             ++stats_.strongBranchProbes;
             double gain = 0.0;
@@ -1075,7 +1174,7 @@ std::int64_t Solver::step() {
                 const long before = lp_.iterations();
                 rst = lp_.resolve();
                 stats_.lpIterations += lp_.iterations() - before;
-                stats_.lpFactorizations = lp_.factorizations();
+                syncLpStats();
                 pendingCost_ += lp_.iterations() - before;
                 lpDualsFresh_ = (rst == lp::SolveStatus::Optimal);
             }
@@ -1293,7 +1392,7 @@ int Solver::addManagedRow(Row row) {
         const long before = lp_.iterations();
         const lp::SolveStatus st = lp_.addRowsAndResolve({mr.row});
         stats_.lpIterations += lp_.iterations() - before;
-        stats_.lpFactorizations = lp_.factorizations();
+        syncLpStats();
         pendingCost_ += lp_.iterations() - before;
         lpDualsFresh_ = (st == lp::SolveStatus::Optimal);
         mr.lpIndex = lp_.numRows() - 1;

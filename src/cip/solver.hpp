@@ -47,6 +47,14 @@ struct Stats {
     std::int64_t nodesCreated = 0;
     std::int64_t lpIterations = 0;
     std::int64_t lpFactorizations = 0;  ///< basis (re)factorizations in the LP
+
+    // LP sparsity telemetry (see SimplexSolver::hyperSolves): how many basis
+    // solves the hyper-sparse reach kernels answered vs the dense loops, and
+    // the summed result support size (mean result nnz = lpSolveNnzSum /
+    // (lpHyperSolves + lpDenseSolves)).
+    std::int64_t lpHyperSolves = 0;
+    std::int64_t lpDenseSolves = 0;
+    std::int64_t lpSolveNnzSum = 0;
     std::int64_t cutsAdded = 0;
     std::int64_t solutionsFound = 0;
     int maxDepth = 0;
@@ -283,6 +291,11 @@ private:
     /// True only while lp_.duals() stems from an Optimal (re)solve; guards
     /// cut aging against stale duals after a failed/NumericalTrouble LP.
     bool lpDualsFresh_ = false;
+    /// "lp/pricing" = auto (default): exact dual steepest-edge for any
+    /// bound-changed resolve (it beats devex's restarted reference weights
+    /// at every measured change depth), devex for cold solves where the
+    /// dual rule is irrelevant anyway.
+    bool lpPricingAuto_ = true;
 
     // Tree.
     std::vector<NodePtr> open_;
@@ -311,14 +324,21 @@ private:
     lp::SolveStatus flushPendingCutsToLp();
     /// Cut-pool upkeep, run at node entry: age cuts against fresh duals,
     /// remove dominance-retired cuts, and on overflow past
-    /// "separating/maxpoolsize" drop the oldest non-binding cuts (only as
-    /// many as needed). Any removal invalidates all lpIndex entries and
-    /// schedules an LP rebuild.
+    /// "separating/maxpoolsize" select the keep-set by greedy dual-magnitude
+    /// + orthogonality scoring (falling back to oldest-non-binding-first
+    /// when the stored duals are stale). Any removal invalidates all lpIndex
+    /// entries and schedules an LP rebuild.
     void manageCutPool();
     /// Discard pending (unflushed) cuts, reporting their tokens as retired.
     void dropPendingCuts();
-    void syncLpBounds();
+    /// Push changed variable bounds into the LP (rebuilding it when no LP
+    /// exists). Returns the number of bound changes applied — solveLp() uses
+    /// the count as the pricing-rule depth signal under "lp/pricing" = auto.
+    int syncLpBounds();
     lp::SolveStatus solveLp();
+    /// Mirror the LP engine's monotone counters into stats_. The counters
+    /// survive lp_.load() (buildLp rebuilds), so plain assignment is exact.
+    void syncLpStats();
     void applyNodeBounds(const Node& node);
     ReduceResult propagateRounds();
     ReduceResult linearPropagation();

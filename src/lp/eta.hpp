@@ -26,6 +26,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "lp/sparsevec.hpp"
+
 namespace lp {
 
 inline constexpr double kEtaDropTol = 1e-13;
@@ -125,6 +127,21 @@ public:
                 }
             }
         }
+    }
+
+    /// SparseVec adapters matching LuFactor's hyper-sparse entry points so
+    /// SimplexSolver can dispatch on one vector type. PFI has no reach
+    /// kernel — these run the dense loops and hand back a dense-mode
+    /// vector, and return false so the caller counts them as dense solves.
+    bool ftranSparseVec(SparseVec& x) const {
+        x.markDense();
+        ftran(x.val);
+        return false;
+    }
+    bool btranSparseVec(SparseVec& y) const {
+        y.markDense();
+        btran(y.val);
+        return false;
     }
 
     /// BTRAN: y <- B^{-T} y. Applies the transposed inverses in reverse

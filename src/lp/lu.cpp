@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 namespace lp {
@@ -12,6 +13,16 @@ namespace {
 /// low-fill stable pivot without rescanning the whole active matrix.
 constexpr int kCountSlack = 1;
 constexpr int kMaxSearchCols = 16;
+
+// Hyper-sparse fallback hysteresis: below kHyperMinDim the dense loops win
+// outright; otherwise a per-direction EWMA of the result density switches to
+// the dense path above kHyperEnter and back to the reach kernel only once it
+// has fallen below kHyperReenter, so a workload sitting near the threshold
+// does not flap between kernels every solve.
+constexpr int kHyperMinDim = 32;
+constexpr double kHyperEnter = 0.30;
+constexpr double kHyperReenter = 0.15;
+constexpr double kHyperEwmaDecay = 0.95;
 }  // namespace
 
 void LuFactor::clear(int m) {
@@ -45,7 +56,21 @@ void LuFactor::clear(int m) {
     uFill_ = 0;
     spike_.assign(m, 0.0);
     spikeValid_ = false;
+    // spike_ is all zeros, which the empty spikeIdx_ describes exactly.
+    spikeIdx_.clear();
+    spikeSparse_ = true;
     alpha_.assign(m, 0.0);
+    const int keepL = std::min<int>(m, static_cast<int>(lOpsOfRow_.size()));
+    lOpsOfRow_.resize(m);
+    lOpsOfTarget_.resize(m);
+    for (int i = 0; i < keepL; ++i) {
+        lOpsOfRow_[i].clear();
+        lOpsOfTarget_[i].clear();
+    }
+    opQueued_.clear();
+    elimQueued_.assign(m, 0);
+    reachMark_.assign(m, 0);
+    lOpsValid_ = true;
 }
 
 void LuFactor::FactorWork::reset(int m) {
@@ -84,9 +109,9 @@ void LuFactor::loadSlack(int m, double diag) {
     valid_ = true;
 }
 
-void LuFactor::eraseEntry(std::vector<std::pair<int, double>>& v, int id) {
+void LuFactor::eraseEntry(std::vector<UEnt>& v, int id) {
     for (auto it = v.begin(); it != v.end(); ++it) {
-        if (it->first == id) {
+        if (it->id == id) {
             *it = v.back();
             v.pop_back();
             return;
@@ -97,6 +122,18 @@ void LuFactor::eraseEntry(std::vector<std::pair<int, double>>& v, int id) {
 void LuFactor::appendLOp(int pivotRow) {
     lPiv_.push_back(pivotRow);
     lStart_.push_back(lRow_.size());
+}
+
+void LuFactor::rebuildLOps() {
+    for (auto& v : lOpsOfRow_) v.clear();
+    for (auto& v : lOpsOfTarget_) v.clear();
+    const std::size_t ops = lPiv_.size();
+    for (std::size_t e = 0; e < ops; ++e) {
+        lOpsOfRow_[lPiv_[e]].push_back(static_cast<int>(e));
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            lOpsOfTarget_[lRow_[q]].push_back(static_cast<int>(e));
+    }
+    lOpsValid_ = true;
 }
 
 bool LuFactor::factorize(const std::vector<int>& basic,
@@ -315,10 +352,17 @@ bool LuFactor::factorize(const std::vector<int>& basic,
         idAtRow_[pivRow[k]] = k;
         for (const auto& ue : urow[k]) {
             const int idc = idOfSlot[ue.first];
-            Urow_[k].push_back({idc, ue.second});
-            Ucol_[idc].push_back({k, ue.second});
+            Urow_[k].push_back({idc, pivRow[idc], ue.second});
+            Ucol_[idc].push_back({k, pivRow[k], ue.second});
             ++uFill_;
         }
+    }
+    // Reach indexes over the L ops (ascending per row because e ascends).
+    const std::size_t ops = lPiv_.size();
+    for (std::size_t e = 0; e < ops; ++e) {
+        lOpsOfRow_[lPiv_[e]].push_back(static_cast<int>(e));
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            lOpsOfTarget_[lRow_[q]].push_back(static_cast<int>(e));
     }
     valid_ = true;
     return true;
@@ -342,7 +386,7 @@ void LuFactor::ftran(std::vector<double>& x) const {
         double v = x[r];
         if (v != 0.0) {
             v /= Udiag_[id];
-            for (const auto& e : Ucol_[id]) x[rowOfId_[e.first]] -= e.second * v;
+            for (const auto& e : Ucol_[id]) x[e.row] -= e.val * v;
             x[r] = v;
         }
     }
@@ -358,13 +402,14 @@ void LuFactor::ftranSpike(std::vector<double>& x) {
     }
     spike_ = x;
     spikeValid_ = true;
+    spikeSparse_ = false;  // dense copy: spikeIdx_ no longer describes it
     for (int k = m_ - 1; k >= 0; --k) {
         const int id = order_[k];
         const int r = rowOfId_[id];
         double v = x[r];
         if (v != 0.0) {
             v /= Udiag_[id];
-            for (const auto& e : Ucol_[id]) x[rowOfId_[e.first]] -= e.second * v;
+            for (const auto& e : Ucol_[id]) x[e.row] -= e.val * v;
             x[r] = v;
         }
     }
@@ -384,7 +429,7 @@ void LuFactor::btran(std::vector<double>& y) const {
         const int id = order_[k];
         const int r = rowOfId_[id];
         double s = y[r];
-        for (const auto& e : Ucol_[id]) s -= e.second * y[rowOfId_[e.first]];
+        for (const auto& e : Ucol_[id]) s -= e.val * y[e.row];
         y[r] = s / Udiag_[id];
     }
     // L^T stage: transposed ops in reverse creation order.
@@ -394,6 +439,244 @@ void LuFactor::btran(std::vector<double>& y) const {
             s -= lVal_[q] * y[lRow_[q]];
         y[lPiv_[e]] = s;
     }
+}
+
+bool LuFactor::chooseSparse(HyperCtl& c, const SparseVec& v) const {
+    if (!hyper_ || m_ < kHyperMinDim) return false;
+    if (c.dense && c.ewma < kHyperReenter) c.dense = false;
+    if (c.dense) return false;
+    if (v.dense) return false;  // dense-mode input has no support list
+    // Per-call guard: a right-hand side already denser than the threshold
+    // can only produce a denser result; skip the symbolic pass outright.
+    return static_cast<double>(v.idx.size()) <= kHyperEnter * m_;
+}
+
+void LuFactor::noteDensity(HyperCtl& c, const SparseVec& v) {
+    if (m_ == 0) return;
+    const double density = static_cast<double>(v.nnz()) / m_;
+    c.ewma = kHyperEwmaDecay * c.ewma + (1.0 - kHyperEwmaDecay) * density;
+    if (c.ewma > kHyperEnter) c.dense = true;
+}
+
+void LuFactor::ftranLSparse(SparseVec& x) {
+    // A nonzero at row r fires exactly the ops pivoted on r that the dense
+    // loop has not passed yet. A min-heap of op ids seeded from the support
+    // rows pops in increasing id order — the dense execution order — and a
+    // row first touched while applying op e contributes only its ops with
+    // id > e (its earlier ops saw a zero and were identities). Each op has
+    // one pivot row and every row is enqueued at most once, so no op enters
+    // the heap twice.
+    heap_.clear();
+    for (int r : x.idx)
+        for (int e : lOpsOfRow_[r]) heap_.push_back(e);
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<int>());
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>());
+        const int e = heap_.back();
+        heap_.pop_back();
+        const double p = x.val[lPiv_[e]];
+        if (p == 0.0) continue;
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q) {
+            const int r2 = lRow_[q];
+            x.val[r2] -= lVal_[q] * p;
+            if (!x.flag[r2]) {
+                x.flag[r2] = 1;
+                x.idx.push_back(r2);
+                const auto& rops = lOpsOfRow_[r2];
+                for (auto it = std::upper_bound(rops.begin(), rops.end(), e);
+                     it != rops.end(); ++it) {
+                    heap_.push_back(*it);
+                    std::push_heap(heap_.begin(), heap_.end(),
+                                   std::greater<int>());
+                }
+            }
+        }
+    }
+}
+
+void LuFactor::ftranUSparse(SparseVec& x) {
+    // Symbolic reach: position k scatters into strictly earlier positions
+    // (the Ucol_ edges), so a DFS from the support ids over Ucol_ collects
+    // every position the back substitution can write. Executing the reach
+    // in descending pivot position is the dense loop order restricted to
+    // the reach; unreached positions hold exact zeros the dense loop would
+    // have skipped anyway.
+    reachIds_.clear();
+    for (int r : x.idx) {
+        const int id0 = idAtRow_[r];
+        if (reachMark_[id0]) continue;
+        reachMark_[id0] = 1;
+        dfsStack_.push_back({id0, 0});
+        while (!dfsStack_.empty()) {
+            auto& top = dfsStack_.back();
+            const auto& edges = Ucol_[top.first];
+            if (top.second == static_cast<int>(edges.size())) {
+                reachIds_.push_back(top.first);
+                dfsStack_.pop_back();
+                continue;
+            }
+            const int child = edges[top.second++].id;
+            if (!reachMark_[child]) {
+                reachMark_[child] = 1;
+                dfsStack_.push_back({child, 0});
+            }
+        }
+    }
+    std::sort(reachIds_.begin(), reachIds_.end(),
+              [&](int a, int b) { return posOf_[a] > posOf_[b]; });
+    for (int id : reachIds_) {
+        reachMark_[id] = 0;
+        const int r = rowOfId_[id];
+        x.touch(r);
+        double v = x.val[r];
+        if (v != 0.0) {
+            v /= Udiag_[id];
+            for (const auto& e : Ucol_[id])
+                x.val[e.row] -= e.val * v;
+            x.val[r] = v;
+        }
+    }
+}
+
+void LuFactor::btranUSparse(SparseVec& y) {
+    // Transposed U: position k reads strictly earlier positions, so a
+    // nonzero propagates forward along Urow_ edges. Reach DFS over Urow_,
+    // then execute ascending — again the dense order on the reach.
+    reachIds_.clear();
+    for (int r : y.idx) {
+        const int id0 = idAtRow_[r];
+        if (reachMark_[id0]) continue;
+        reachMark_[id0] = 1;
+        dfsStack_.push_back({id0, 0});
+        while (!dfsStack_.empty()) {
+            auto& top = dfsStack_.back();
+            const auto& edges = Urow_[top.first];
+            if (top.second == static_cast<int>(edges.size())) {
+                reachIds_.push_back(top.first);
+                dfsStack_.pop_back();
+                continue;
+            }
+            const int child = edges[top.second++].id;
+            if (!reachMark_[child]) {
+                reachMark_[child] = 1;
+                dfsStack_.push_back({child, 0});
+            }
+        }
+    }
+    std::sort(reachIds_.begin(), reachIds_.end(),
+              [&](int a, int b) { return posOf_[a] < posOf_[b]; });
+    for (int id : reachIds_) {
+        reachMark_[id] = 0;
+        const int r = rowOfId_[id];
+        double s = y.val[r];
+        for (const auto& e : Ucol_[id])
+            s -= e.val * y.val[e.row];
+        y.val[r] = s / Udiag_[id];
+        y.touch(r);
+    }
+}
+
+void LuFactor::btranLSparse(SparseVec& y) {
+    // Transposed L ops run in reverse creation order and op e only changes
+    // y[pivot] when some target row of e is nonzero. Max-heap of op ids
+    // seeded from the support rows' target-op lists pops in decreasing id
+    // order (= dense order); a pivot row first written while applying op e
+    // wakes only its target ops with id < e (the later ones already ran).
+    // Unlike the FTRAN case an op has several target rows, so a per-op
+    // queued flag dedups the heap.
+    const std::size_t ops = lPiv_.size();
+    if (opQueued_.size() < ops) opQueued_.resize(ops, 0);
+    heap_.clear();
+    for (int r : y.idx)
+        for (int e : lOpsOfTarget_[r])
+            if (!opQueued_[e]) {
+                opQueued_[e] = 1;
+                heap_.push_back(e);
+            }
+    std::make_heap(heap_.begin(), heap_.end());
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end());
+        const int e = heap_.back();
+        heap_.pop_back();
+        opQueued_[e] = 0;
+        double s = y.val[lPiv_[e]];
+        for (std::size_t q = lStart_[e]; q < lStart_[e + 1]; ++q)
+            s -= lVal_[q] * y.val[lRow_[q]];
+        const int pr = lPiv_[e];
+        y.val[pr] = s;
+        if (!y.flag[pr]) {
+            y.flag[pr] = 1;
+            y.idx.push_back(pr);
+            for (int e2 : lOpsOfTarget_[pr]) {
+                if (e2 >= e) break;  // sorted ascending: the rest ran already
+                if (!opQueued_[e2]) {
+                    opQueued_[e2] = 1;
+                    heap_.push_back(e2);
+                    std::push_heap(heap_.begin(), heap_.end());
+                }
+            }
+        }
+    }
+}
+
+bool LuFactor::ftranSparse(SparseVec& x) {
+    const bool sparse = chooseSparse(ftranCtl_, x);
+    if (sparse) {
+        if (!lOpsValid_) rebuildLOps();
+        ftranLSparse(x);
+        ftranUSparse(x);
+        x.sortSupport();
+    } else {
+        // Dense fallback: don't pay an O(m) support rebuild for a result
+        // that is dense anyway — hand the consumer a dense-mode vector.
+        x.markDense();
+        ftran(x.val);
+    }
+    noteDensity(ftranCtl_, x);
+    return sparse;
+}
+
+bool LuFactor::ftranSpikeSparse(SparseVec& x) {
+    const bool sparse = chooseSparse(ftranCtl_, x);
+    if (sparse) {
+        if (!lOpsValid_) rebuildLOps();
+        ftranLSparse(x);
+        x.sortSupport();
+        // Cache the post-L spike sparsely: clear the previous support (or
+        // the whole array if the last spike came through the dense path),
+        // then copy the new one.
+        if (spikeSparse_)
+            for (int r : spikeIdx_) spike_[r] = 0.0;
+        else
+            spike_.assign(m_, 0.0);
+        spikeIdx_ = x.idx;
+        for (int r : spikeIdx_) spike_[r] = x.val[r];
+        spikeValid_ = true;
+        spikeSparse_ = true;
+        ftranUSparse(x);
+        x.sortSupport();
+    } else {
+        x.markDense();
+        ftranSpike(x.val);
+        spikeSparse_ = false;
+    }
+    noteDensity(ftranCtl_, x);
+    return sparse;
+}
+
+bool LuFactor::btranSparse(SparseVec& y) {
+    const bool sparse = chooseSparse(btranCtl_, y);
+    if (sparse) {
+        if (!lOpsValid_) rebuildLOps();
+        btranUSparse(y);
+        btranLSparse(y);
+        y.sortSupport();
+    } else {
+        y.markDense();
+        btran(y.val);
+    }
+    noteDensity(btranCtl_, y);
+    return sparse;
 }
 
 bool LuFactor::update(int leaveRow) {
@@ -408,10 +691,10 @@ bool LuFactor::update(int leaveRow) {
 
     // Detach row id0 and column id0 from U. The row's entries drive the
     // eliminations below; the column is about to be replaced by the spike.
-    std::vector<std::pair<int, double>> u = std::move(Urow_[id0]);
+    std::vector<UEnt> u = std::move(Urow_[id0]);
     Urow_[id0].clear();
-    for (const auto& e : u) eraseEntry(Ucol_[e.first], id0);
-    for (const auto& e : Ucol_[id0]) eraseEntry(Urow_[e.first], id0);
+    for (const auto& e : u) eraseEntry(Ucol_[e.id], id0);
+    for (const auto& e : Ucol_[id0]) eraseEntry(Urow_[e.id], id0);
     uFill_ -= static_cast<long>(u.size() + Ucol_[id0].size());
     Ucol_[id0].clear();
 
@@ -419,21 +702,81 @@ bool LuFactor::update(int leaveRow) {
     // the only sub-diagonal row; eliminate it by forward substitution over
     // positions t0+1..m-1, appending one single-entry row op to L per
     // surviving multiplier. alpha_ holds the row's current value per id.
-    for (const auto& e : u) alpha_[e.first] = e.second;
+    // Only positions the row actually touches can carry a nonzero. When the
+    // detached row is sparse relative to the tail the scan is driven by a
+    // min-heap of positions seeded from its entries and fed by the Urow_
+    // scatters (all of which land at strictly later positions) — ascending
+    // pops reproduce the dense elimination order exactly. A dense-ish row
+    // uses the plain linear position scan instead: at high fill the heap
+    // maintenance costs more than touching every tail position once.
+    for (const auto& e : u) alpha_[e.id] = e.val;
     double delta = spike_[leaveRow];
-    for (int k = t0 + 1; k < m_; ++k) {
-        const int id = order_[k];
-        const double a = alpha_[id];
-        alpha_[id] = 0.0;
-        if (std::fabs(a) <= kLuDropTol) continue;
+    // Skip reach-index upkeep while no reach kernel can run (controller has
+    // both directions on the dense fallback, or the kernels are switched
+    // off); the indexes go stale and are rebuilt on demand.
+    const bool maintainLOps =
+        lOpsValid_ && hyper_ && !(ftranCtl_.dense && btranCtl_.dense);
+    if (!maintainLOps) lOpsValid_ = false;
+    auto eliminate = [&](int id, double a) {
         const double mult = a / Udiag_[id];
         const int pr = rowOfId_[id];
+        const int opIdx = static_cast<int>(lPiv_.size());
         lPiv_.push_back(pr);
         lRow_.push_back(leaveRow);
         lVal_.push_back(mult);
         lStart_.push_back(lRow_.size());
-        for (const auto& e : Urow_[id]) alpha_[e.first] -= mult * e.second;
+        if (maintainLOps) {
+            lOpsOfRow_[pr].push_back(opIdx);
+            lOpsOfTarget_[leaveRow].push_back(opIdx);
+        }
         delta -= mult * spike_[pr];
+        return mult;
+    };
+    // The heap walk pays off only when the whole elimination stays sparse.
+    // The detached row's initial size misses fill-in: scattering a row of a
+    // spike-dense U wakes hundreds of later positions, and every wake-up
+    // costs a push_heap. Require low average U fill (raw factors have ~a
+    // handful of entries per row; accumulated dense FT spikes blow past
+    // this) before trusting the initial size as a sparsity signal.
+    const int tail = m_ - 1 - t0;
+    if (static_cast<long>(u.size()) * 4 < tail && uFill_ < 8L * m_) {
+        heap_.clear();
+        for (const auto& e : u)
+            if (!elimQueued_[e.id]) {
+                elimQueued_[e.id] = 1;
+                heap_.push_back(posOf_[e.id]);
+            }
+        std::make_heap(heap_.begin(), heap_.end(), std::greater<int>());
+        while (!heap_.empty()) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>());
+            const int k = heap_.back();
+            heap_.pop_back();
+            const int id = order_[k];
+            elimQueued_[id] = 0;
+            const double a = alpha_[id];
+            alpha_[id] = 0.0;
+            if (std::fabs(a) <= kLuDropTol) continue;
+            const double mult = eliminate(id, a);
+            for (const auto& e : Urow_[id]) {
+                alpha_[e.id] -= mult * e.val;
+                if (!elimQueued_[e.id]) {
+                    elimQueued_[e.id] = 1;
+                    heap_.push_back(posOf_[e.id]);
+                    std::push_heap(heap_.begin(), heap_.end(),
+                                   std::greater<int>());
+                }
+            }
+        }
+    } else {
+        for (int k = t0 + 1; k < m_; ++k) {
+            const int id = order_[k];
+            const double a = alpha_[id];
+            alpha_[id] = 0.0;
+            if (std::fabs(a) <= kLuDropTol) continue;
+            const double mult = eliminate(id, a);
+            for (const auto& e : Urow_[id])
+                alpha_[e.id] -= mult * e.val;
+        }
     }
 
     if (std::fabs(delta) < kLuPivotTol || !std::isfinite(delta)) {
@@ -442,16 +785,22 @@ bool LuFactor::update(int leaveRow) {
     }
 
     // Insert the spike as the new last column, keyed by the recycled id0.
-    // All its entries sit above the new diagonal by construction.
-    for (int r = 0; r < m_; ++r) {
-        if (r == leaveRow) continue;
+    // All its entries sit above the new diagonal by construction. A sparse
+    // spike walks its (ascending) support instead of all rows — same visit
+    // order, and rows outside the support hold exact zeros.
+    auto insertSpikeRow = [&](int r) {
+        if (r == leaveRow) return;
         const double v = spike_[r];
-        if (std::fabs(v) <= kLuDropTol) continue;
+        if (std::fabs(v) <= kLuDropTol) return;
         const int id = idAtRow_[r];
-        Ucol_[id0].push_back({id, v});
-        Urow_[id].push_back({id0, v});
+        Ucol_[id0].push_back({id, r, v});
+        Urow_[id].push_back({id0, leaveRow, v});
         ++uFill_;
-    }
+    };
+    if (spikeSparse_)
+        for (int r : spikeIdx_) insertSpikeRow(r);
+    else
+        for (int r = 0; r < m_; ++r) insertSpikeRow(r);
     Udiag_[id0] = delta;
 
     // Rotate the pivot order: id0 moves from position t0 to the end.

@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "lp/sparsevec.hpp"
+
 namespace lp {
 
 /// Fill dropped from L/U on creation (products of rounded quantities).
@@ -77,6 +79,26 @@ public:
     /// BTRAN: y <- B^{-T} y (y dense, indexed by row).
     void btran(std::vector<double>& y) const;
 
+    // -- hyper-sparse solves (Gilbert–Peierls reach) ------------------------
+    // Symbolic pass first: from the right-hand-side support, the set of
+    // positions the substitution can possibly write (the "reach") is
+    // computed by graph traversal over the L/U nonzero structure; the
+    // numeric pass then visits only reached positions, in exactly the order
+    // the dense loops would, so the two paths produce bit-identical nonzero
+    // values. Each call decides per direction between the reach kernel and
+    // the dense loop via a result-density EWMA with hysteresis (enter dense
+    // above ~30%, re-enter sparse below ~15%); the return value reports
+    // which path ran (true = reach kernel). The result support is sorted
+    // ascending either way.
+    bool ftranSparse(SparseVec& x);
+    bool btranSparse(SparseVec& y);
+    /// Sparse analogue of ftranSpike(): caches the post-L spike (support +
+    /// values) for the coming Forrest–Tomlin update.
+    bool ftranSpikeSparse(SparseVec& x);
+    /// Master switch for the reach kernels (density fallback still applies).
+    void setHyperSparse(bool on) { hyper_ = on; }
+    bool hyperSparse() const { return hyper_; }
+
     /// Forrest–Tomlin update: the variable basic in row leaveRow is replaced
     /// by the column last passed through ftranSpike(). Returns false — and
     /// invalidates the factor, forcing a refactorization — if no spike is
@@ -93,9 +115,33 @@ public:
     int updates() const { return updates_; }
 
 private:
-    static void eraseEntry(std::vector<std::pair<int, double>>& v, int id);
+    /// U entry: the stable pivot id keys the nonzero graph the reach DFS
+    /// walks (posOf_ comparisons), and the entry's pivot row is denormalized
+    /// alongside so the dense substitution loops index the solution vector
+    /// directly instead of chasing rowOfId_ per entry. Rows never change for
+    /// a live id (Forrest–Tomlin only recycles the leaving id), so the copy
+    /// cannot go stale. Same 16-byte footprint as the pair<int, double> it
+    /// replaces (the pair padded its int to 8 bytes anyway).
+    struct UEnt {
+        int id;
+        int row;
+        double val;
+    };
+    static void eraseEntry(std::vector<UEnt>& v, int id);
     void appendLOp(int pivotRow);
     double* udiag() { return Udiag_.data(); }
+
+    // Hyper-sparse internals.
+    struct HyperCtl {
+        double ewma = 0.0;  ///< smoothed result density per direction
+        bool dense = false; ///< currently in dense fallback mode
+    };
+    bool chooseSparse(HyperCtl& c, const SparseVec& v) const;
+    void noteDensity(HyperCtl& c, const SparseVec& v);
+    void ftranLSparse(SparseVec& x);
+    void ftranUSparse(SparseVec& x);
+    void btranUSparse(SparseVec& y);
+    void btranLSparse(SparseVec& y);
 
     int m_ = 0;
     bool valid_ = false;
@@ -112,10 +158,10 @@ private:
     // indirection through order_/posOf_ so Forrest–Tomlin's cyclic
     // permutation never renumbers stored entries.
     std::vector<double> Udiag_;  ///< diagonal per id
-    /// Column id: entries (id2, val) with posOf_[id2] < posOf_[id].
-    std::vector<std::vector<std::pair<int, double>>> Ucol_;
-    /// Row id: entries (id2, val) with posOf_[id2] > posOf_[id].
-    std::vector<std::vector<std::pair<int, double>>> Urow_;
+    /// Column id: entries with posOf_[entry.id] < posOf_[column id].
+    std::vector<std::vector<UEnt>> Ucol_;
+    /// Row id: entries with posOf_[entry.id] > posOf_[row id].
+    std::vector<std::vector<UEnt>> Urow_;
     std::vector<int> rowOfId_;  ///< pivot row (matrix row index) per id
     std::vector<int> idAtRow_;  ///< inverse of rowOfId_
     std::vector<int> order_;    ///< ids in pivot order
@@ -126,6 +172,36 @@ private:
     std::vector<double> spike_;  ///< cached post-L entering column
     bool spikeValid_ = false;
     std::vector<double> alpha_;  ///< dense elimination accumulator (by id)
+    /// Support of spike_ when it came from ftranSpikeSparse (sorted
+    /// ascending); invariant: spike_ is exactly zero outside spikeIdx_
+    /// whenever spikeSparse_ is set.
+    std::vector<int> spikeIdx_;
+    bool spikeSparse_ = false;
+
+    // Reach-kernel indexes over L: op ids by pivot row (drives FTRAN
+    // propagation) and by target row (drives transposed BTRAN propagation).
+    // Both lists stay sorted ascending because ops are only ever appended.
+    std::vector<std::vector<int>> lOpsOfRow_;
+    std::vector<std::vector<int>> lOpsOfTarget_;
+    /// The L-op reach indexes above are only consumed by the reach kernels.
+    /// While the density controller has parked *both* solve directions on
+    /// the dense fallback, update() skips the per-op index pushes (two
+    /// scattered vector appends per elimination op — measurable in the
+    /// FT-update hot path) and clears this flag; the first solve that picks
+    /// a reach kernel again rebuilds both indexes from the op pool.
+    bool lOpsValid_ = true;
+    void rebuildLOps();
+
+    // Reach scratch (cleared via their own contents after each solve).
+    std::vector<int> heap_;                     ///< op-index / position heap
+    std::vector<char> opQueued_;                ///< per-op dedup (BTRAN L^T)
+    std::vector<char> elimQueued_;              ///< per-id dedup (FT update)
+    std::vector<char> reachMark_;               ///< per-id DFS mark
+    std::vector<int> reachIds_;                 ///< collected reach
+    std::vector<std::pair<int, int>> dfsStack_; ///< (id, next edge)
+
+    bool hyper_ = true;
+    HyperCtl ftranCtl_, btranCtl_;  ///< persist across refactorizations
 
     // Markowitz workspace, persistent across factorizations: warm resolves
     // refactorize every few dozen pivots, and reallocating ~6 vectors of

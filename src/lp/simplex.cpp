@@ -39,6 +39,14 @@ const char* toString(Factorization f) {
     return "?";
 }
 
+const char* toString(Pricing p) {
+    switch (p) {
+        case Pricing::Devex: return "devex";
+        case Pricing::DSE: return "dse";
+    }
+    return "?";
+}
+
 void SimplexSolver::load(const LpModel& model) {
     n_ = model.numCols();
     m_ = model.numRows();
@@ -144,6 +152,9 @@ void SimplexSolver::setupSlackBasis() {
     ++numFactor_;
     resetFactorPolicy();
     resetDevex();
+    // DSE weights are exactly 1 for the slack basis (B = -I).
+    dseGamma_.assign(m_, 1.0);
+    dseFresh_ = true;
     basisValid_ = true;
     computeBasicSolution();
 }
@@ -172,10 +183,40 @@ void SimplexSolver::factBtran(std::vector<double>& y) const {
         lu_.btran(y);
 }
 
-void SimplexSolver::factUpdate(int leaveRow, const std::vector<double>& w) {
+void SimplexSolver::ensureSparseWork() {
+    if (wVec_.dim() != m_) wVec_.reset(m_);
+    if (rhoVec_.dim() != m_) rhoVec_.reset(m_);
+    if (tauVec_.dim() != m_) tauVec_.reset(m_);
+    if (flipVec_.dim() != m_) flipVec_.reset(m_);
+    if (static_cast<int>(iota_.size()) != m_) {
+        iota_.resize(m_);
+        std::iota(iota_.begin(), iota_.end(), 0);
+    }
+}
+
+void SimplexSolver::factFtranSparse(SparseVec& x) {
+    const bool sparse = factKind_ == Factorization::PFI
+                            ? eta_.ftranSparseVec(x)
+                            : lu_.ftranSparse(x);
+    countSolve(sparse, x);
+}
+
+void SimplexSolver::factBtranSparse(SparseVec& y) {
+    const bool sparse = factKind_ == Factorization::PFI
+                            ? eta_.btranSparseVec(y)
+                            : lu_.btranSparse(y);
+    countSolve(sparse, y);
+}
+
+void SimplexSolver::factUpdate(int leaveRow, const SparseVec& w) {
     if (factKind_ == Factorization::PFI) {
-        // The update eta maps w = B^{-1} a_enter to e_leaveRow.
-        eta_.append(leaveRow, w);
+        // The update eta maps w = B^{-1} a_enter to e_leaveRow; w is exactly
+        // zero outside its support, which is the pattern overload's
+        // contract. A dense-mode w has no support list — scan all rows.
+        if (w.dense)
+            eta_.append(leaveRow, w.val);
+        else
+            eta_.append(leaveRow, w.val, w.idx);
         ++updatesSince_;
     } else if (lu_.update(leaveRow)) {
         ++updatesSince_;
@@ -249,6 +290,12 @@ bool SimplexSolver::refactorize() {
         std::vector<int> newBasic(m_);
         for (int s = 0; s < m_; ++s) newBasic[rowOfSlot[s]] = basic_[s];
         basic_ = std::move(newBasic);
+        // DSE weights are attached to the basic variable of a slot, not to
+        // the matrix row, so they move with the permutation just applied to
+        // basic_. Leaving them in the old order silently feeds scrambled
+        // norms to the exact Forrest–Goldfarb recurrence after every
+        // refactorization.
+        permuteDseGamma(rowOfSlot);
         resetFactorPolicy();
         return true;
     }
@@ -266,6 +313,7 @@ bool SimplexSolver::refactorize() {
         return cols_[basic_[a]].entries.size() < cols_[basic_[b]].entries.size();
     });
     eta_.clear(m_);
+    std::vector<int> rowOfSlot(m_, -1);
     std::vector<int> newBasic(m_, -1);
     std::vector<char> rowUsed(m_, 0);
     std::vector<double> w(m_, 0.0);
@@ -293,6 +341,7 @@ bool SimplexSolver::refactorize() {
         if (r < 0 || best < 1e-11) return false;  // singular basis
         eta_.append(r, w, pattern);
         newBasic[r] = j;
+        rowOfSlot[k] = r;
         rowUsed[r] = 1;
         for (int i : pattern) {
             w[i] = 0.0;
@@ -300,8 +349,17 @@ bool SimplexSolver::refactorize() {
         }
     }
     basic_ = std::move(newBasic);
+    permuteDseGamma(rowOfSlot);  // weights follow their slot, see LU branch
     resetFactorPolicy();
     return true;
+}
+
+void SimplexSolver::permuteDseGamma(const std::vector<int>& rowOfSlot) {
+    if (static_cast<int>(dseGamma_.size()) != m_) return;
+    std::vector<double> g(m_, 1.0);
+    for (int s = 0; s < m_; ++s)
+        if (rowOfSlot[s] >= 0) g[rowOfSlot[s]] = dseGamma_[s];
+    dseGamma_ = std::move(g);
 }
 
 double SimplexSolver::solutionResidual() const {
@@ -339,30 +397,35 @@ double SimplexSolver::columnDot(int j, const std::vector<double>& y) const {
     return s;
 }
 
-void SimplexSolver::ftranColumn(int j, std::vector<double>& w) {
-    w.assign(m_, 0.0);
+void SimplexSolver::ftranColumn(int j, SparseVec& w) {
+    w.clear();
     for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p)
-        w[cscRow_[p]] = cscVal_[p];
-    if (factKind_ == Factorization::PFI)
-        eta_.ftran(w);
-    else
-        lu_.ftranSpike(w);  // caches the FT spike for the coming pivot
+        w.set(cscRow_[p], cscVal_[p]);
+    if (factKind_ == Factorization::PFI) {
+        w.markDense();
+        eta_.ftran(w.val);
+        countSolve(false, w);
+    } else {
+        // Caches the FT spike for the coming pivot.
+        countSolve(lu_.ftranSpikeSparse(w), w);
+    }
 }
 
-void SimplexSolver::pivot(int enter, int leaveRow, const std::vector<double>& w,
+void SimplexSolver::pivot(int enter, int leaveRow, const SparseVec& w,
                           double enterValue, VStat leaveTo) {
     const int leaveVar = basic_[leaveRow];
     // Incremental update of basic values: the entering variable moves by dz
-    // from its nonbasic value, changing x_B by -w*dz. O(m) instead of a full
-    // recompute; the residual check + refactorization clear accumulated
+    // from its nonbasic value, changing x_B by -w*dz. O(nnz w) instead of a
+    // full recompute; the residual check + refactorization clear accumulated
     // drift.
     const double dz = enterValue - nonbasicValue(enter);
-    for (int i = 0; i < m_; ++i) xb_[i] -= w[i] * dz;
+    forSupport(w, [&](int i) { xb_[i] -= w.val[i] * dz; });
     factUpdate(leaveRow, w);
     basic_[leaveRow] = enter;
     vstat_[enter] = VStat::Basic;
     vstat_[leaveVar] = leaveTo;
     xb_[leaveRow] = enterValue;
+    dseFresh_ = false;  // re-earned by the dual loop's own weight update
 }
 
 double SimplexSolver::infeasibilitySum() const {
@@ -446,7 +509,9 @@ int SimplexSolver::pricePrimal(bool phase1, const std::vector<double>& y,
 
 SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
     ensureCsc();
-    std::vector<double> cb(m_), y, w;
+    ensureSparseWork();
+    std::vector<double> cb(m_), y;
+    SparseVec& w = wVec_;
     bool bland = false;
     int stall = 0;
     double lastMeasure = kInf;
@@ -555,8 +620,12 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
         // file well conditioned: always taking the first ~0-step row can
         // chain 1e-9-sized pivots until B^{-1} (and the duals priced
         // through it) are pure noise.
+        // Both passes walk only the FTRAN support: rows with w[i] == 0 have
+        // |delta| < kPivotTol and never block, and the support is sorted
+        // ascending so tie-breaks see rows in the same order a dense scan
+        // would.
         auto rowRatio = [&](int i, double& ti, VStat& to) {
-            const double delta = -sigma * w[i];
+            const double delta = -sigma * w.val[i];
             ti = kInf;
             to = VStat::AtLower;
             if (std::fabs(delta) < kPivotTol) return;
@@ -593,36 +662,36 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
         double tLimit = kInf;
         if (lb_[enter] > -kInf && ub_[enter] < kInf)
             tLimit = ub_[enter] - lb_[enter];
-        for (int i = 0; i < m_; ++i) {
+        forSupport(w, [&](int i) {
             double ti;
             VStat to;
             rowRatio(i, ti, to);
             if (ti < tLimit) tLimit = ti;
-        }
+        });
         // Pass 2: best blocking row within tolerance of the limit.
         const double tTol = 1e-9 + 1e-7 * std::min(tLimit, 1.0);
         double tMax = tLimit;
         int leaveRow = -1;
         VStat leaveTo = VStat::AtLower;
         double bestPivot = 0.0;
-        for (int i = 0; i < m_; ++i) {
+        forSupport(w, [&](int i) {
             double ti;
             VStat to;
             rowRatio(i, ti, to);
-            if (ti > tLimit + tTol) continue;
+            if (ti > tLimit + tTol) return;
             if (bland) {
                 if (leaveRow < 0 || basic_[i] < basic_[leaveRow]) {
                     leaveRow = i;
                     leaveTo = to;
                     tMax = ti;
                 }
-            } else if (std::fabs(w[i]) > bestPivot) {
-                bestPivot = std::fabs(w[i]);
+            } else if (std::fabs(w.val[i]) > bestPivot) {
+                bestPivot = std::fabs(w.val[i]);
                 leaveRow = i;
                 leaveTo = to;
                 tMax = ti;
             }
-        }
+        });
         if (leaveRow >= 0) tMax = std::min(tMax, tLimit);
 
         if (tMax >= kInf) {
@@ -638,7 +707,7 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
             // Bound flip: entering variable moves to its other bound; the
             // basic values shift by -sigma*w*t (incremental).
             vstat_[enter] = (sigma > 0) ? VStat::AtUpper : VStat::AtLower;
-            for (int i = 0; i < m_; ++i) xb_[i] -= sigma * w[i] * tMax;
+            forSupport(w, [&](int i) { xb_[i] -= sigma * w.val[i] * tMax; });
             continue;
         }
 
@@ -647,8 +716,8 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
         // byproduct of the FTRAN; the leaving variable inherits it scaled
         // by the pivot. Other weights stay stale until the next reset.
         double wNorm2 = 0.0;
-        for (int i = 0; i < m_; ++i) wNorm2 += w[i] * w[i];
-        const double alphaR = w[leaveRow];
+        forSupport(w, [&](int i) { wNorm2 += w.val[i] * w.val[i]; });
+        const double alphaR = w.val[leaveRow];
         const double gammaQ = std::max(devex_[enter], wNorm2);
         const int leaveVar = basic_[leaveRow];
         devex_[leaveVar] = std::max(1.0, gammaQ / (alphaR * alphaR));
@@ -662,24 +731,43 @@ SolveStatus SimplexSolver::primalSimplex(bool phase1Allowed) {
 
 SolveStatus SimplexSolver::dualSimplex() {
     ensureCsc();
+    ensureSparseWork();
     const int tot = n_ + m_;
-    std::vector<double> cb(m_), y, w, rho;
+    std::vector<double> cb(m_), y;
+    SparseVec& w = wVec_;
+    SparseVec& rho = rhoVec_;
     struct DualCand {
         int j;
         double alpha, ratio;
     };
     std::vector<DualCand> cand;
+    std::vector<int> flips;  // columns passed (bound-flipped) by long steps
     std::vector<std::pair<int, double>> alphas;  // (j, rho.a_j), all nonbasic
     std::vector<double> alphaAcc(tot, 0.0);      // scatter accumulator
     std::vector<int> touched;
-    // Dual devex row weights: gamma[i] approximates ||B^{-T} e_i||^2, the
-    // steepest-edge norm of row i. Selecting the leaving row by
-    // viol^2 / gamma instead of raw violation favors rows whose dual
-    // direction is short, which empirically cuts the pivot count on the
-    // box-bounded cut LPs the tree produces. Weights start at the reference
-    // framework (all 1) each call and are updated from the entering
-    // column's FTRAN, mirroring the primal devex scheme above.
-    std::vector<double> gamma(m_, 1.0);
+    // Dual row weights gamma[i] ~ ||B^{-T} e_i||^2, the steepest-edge norm
+    // of row i. Selecting the leaving row by viol^2 / gamma instead of raw
+    // violation favors rows whose dual direction is short, which cuts the
+    // pivot count on the box-bounded cut LPs the tree produces.
+    //   * Devex (default): approximate weights updated from the entering
+    //     column's FTRAN — no extra solves.
+    //   * DSE: exact weights maintained by the Forrest–Goldfarb recurrence
+    //     at one extra sparse FTRAN (tau = B^{-1} rho) per pivot.
+    // DSE weights persist in dseGamma_ across resolves while the basis is
+    // unchanged (dseFresh_; refactorizations permute them with basic_) —
+    // restarting at all-1 would throw away exact norms the FG recurrence
+    // paid an FTRAN apiece to maintain. Devex deliberately restarts at the
+    // reference framework every call: its update only ever *raises* weights
+    // (a max ratchet), so persisted devex weights inflate across resolves
+    // and were measured slightly worse than a clean restart. The shared
+    // member array is still used (no per-resolve allocation); weightsRule_
+    // keeps devex approximations from ever seeding the exact recurrence.
+    const bool useDse = pricing_ == Pricing::DSE;
+    if (!useDse || !dseFresh_ || weightsRule_ != pricing_ ||
+        static_cast<int>(dseGamma_.size()) != m_)
+        dseGamma_.assign(m_, 1.0);  // reference framework / slack-exact
+    weightsRule_ = pricing_;
+    std::vector<double>& gamma = dseGamma_;
     long iters = 0;
     int sinceCheck = 0;
     bool bland = false;
@@ -760,11 +848,12 @@ SolveStatus SimplexSolver::dualSimplex() {
         lastInfeas = infeas;
 
         // Row leaveRow of B^{-1} A over nonbasic columns: rho = B^{-T} e_r,
-        // then alpha_j = rho . a_j. One sparse BTRAN replaces the dense
-        // B^{-1} row lookup of the old engine.
-        rho.assign(m_, 0.0);
-        rho[leaveRow] = 1.0;
-        factBtran(rho);
+        // then alpha_j = rho . a_j. The unit right-hand side is the
+        // hyper-sparse sweet spot: the reach kernel touches only the rows
+        // e_r can influence through the factor.
+        rho.clear();
+        rho.set(leaveRow, 1.0);
+        factBtranSparse(rho);
         const int leaveVar = basic_[leaveRow];
         const double target = leaveToUpper ? ub_[leaveVar] : lb_[leaveVar];
         // Leaving basic must move toward target:
@@ -797,22 +886,25 @@ SolveStatus SimplexSolver::dualSimplex() {
             }
             return 0;
         };
-        // alpha_j for every column hit by rho, via one CSR scatter: touches
-        // only the nonzeros of rows where rho != 0 instead of dotting rho
-        // against all tot columns.
+        // alpha_j for every column hit by rho, via one CSR scatter over the
+        // BTRAN support: touches only the nonzeros of rows where rho != 0
+        // instead of scanning all m_ rows for them first. The support is
+        // sorted ascending, so the accumulation (and hence `touched`) order
+        // matches what the dense row sweep produced.
         cand.clear();
         alphas.clear();
         touched.clear();
-        for (int i = 0; i < m_; ++i) {
-            const double ri = rho[i];
-            if (ri == 0.0) continue;
+        forSupport(rho, [&](int i) {
+            const double ri = rho.val[i];
+            if (ri == 0.0) return;
             for (int p = csrPtr_[i]; p < csrPtr_[i + 1]; ++p) {
                 const int j = csrCol_[p];
                 if (alphaAcc[j] == 0.0) touched.push_back(j);
                 alphaAcc[j] += ri * csrVal_[p];
             }
-        }
+        });
         double bestRatio = kInf;
+        int bestIdx = -1;  // first candidate attaining bestRatio
         for (int j : touched) {
             const double alpha = alphaAcc[j];
             alphaAcc[j] = 0.0;  // leave the accumulator clean for next pivot
@@ -821,22 +913,104 @@ SolveStatus SimplexSolver::dualSimplex() {
             if (std::fabs(alpha) < kPivotTol) continue;
             if (dualEligible(j, alpha) == 0) continue;
             const double ratio = std::fabs(d[j]) / std::fabs(alpha);
-            if (ratio < bestRatio) bestRatio = ratio;
+            if (ratio < bestRatio) {
+                bestRatio = ratio;
+                bestIdx = static_cast<int>(cand.size());
+            }
             cand.push_back({j, alpha, ratio});
         }
+        // Long-step (bound-flip) ratio test: walking the candidates in
+        // ratio order, a boxed candidate whose zero crossing theta passes
+        // can simply jump to its other bound — its reduced cost changes
+        // sign, which is dual feasible at the opposite bound — as long as
+        // the aggregate primal movement of all flips does not overshoot the
+        // leaving row's target. Each flip shrinks the remaining violation
+        // ("slope" of the dual objective) by |alpha_j| * box width; the
+        // first candidate that cannot be passed enters the basis. One dual
+        // iteration thereby absorbs what plain ratio testing would spend a
+        // pivot (FTRAN + BTRAN + factor update) apiece on — the dominant
+        // win on the 0/1-box cut LPs this solver exists for. Flipped
+        // columns are corrected in x_B with a single aggregated FTRAN.
+        // Disabled under Bland's rule, whose anti-cycling argument needs
+        // the plain lowest-index pivot.
         int enter = -1;
         double enterAlpha = 0.0;
-        const double ratioTol = 1e-9 + 1e-7 * std::min(bestRatio, 1.0);
-        for (const DualCand& c : cand) {
-            if (c.ratio > bestRatio + ratioTol) continue;
-            if (bland) {
-                if (enter < 0 || c.j < enter) {
-                    enter = c.j;
-                    enterAlpha = c.alpha;
+        flips.clear();
+        // Cheap gate first: the ordered walk only matters when the
+        // smallest-ratio candidate itself can be passed; on most pivots it
+        // cannot (unboxed slack, or its flip would already overshoot), and
+        // the plain two-scan test below runs with zero ordering cost.
+        bool longStep = false;
+        if (!bland && bestIdx >= 0) {
+            const double w0 =
+                std::max(ub_[cand[bestIdx].j] - lb_[cand[bestIdx].j], 0.0);
+            longStep = w0 < kInf &&
+                       std::fabs(xb_[leaveRow] - target) -
+                               std::fabs(cand[bestIdx].alpha) * w0 >
+                           kFeasTol;
+        }
+        if (longStep) {
+            // Min-ratio heap instead of a full sort: the walk usually stops
+            // after a handful of flips, so ordering the whole candidate set
+            // would be wasted work on every pivot.
+            auto byRatioDesc = [](const DualCand& a, const DualCand& b) {
+                return a.ratio > b.ratio;
+            };
+            std::make_heap(cand.begin(), cand.end(), byRatioDesc);
+            auto end = cand.end();
+            double slope = std::fabs(xb_[leaveRow] - target);
+            double stopRatio = kInf;
+            while (cand.begin() != end) {
+                const DualCand& top = cand.front();
+                const double width = std::max(ub_[top.j] - lb_[top.j], 0.0);
+                const double drop = std::fabs(top.alpha) * width;
+                if (!(width < kInf) || slope - drop <= kFeasTol) {
+                    stopRatio = top.ratio;
+                    break;
                 }
-            } else if (std::fabs(c.alpha) > std::fabs(enterAlpha)) {
-                enterAlpha = c.alpha;
-                enter = c.j;
+                slope -= drop;
+                flips.push_back(top.j);
+                std::pop_heap(cand.begin(), end, byRatioDesc);
+                --end;
+            }
+            if (cand.begin() == end) {
+                // Even flipping every candidate leaves the row violated —
+                // a dual ray. Fall back to the plain smallest-ratio pivot
+                // so the infeasibility verdict is reached by the standard
+                // (tolerance-hardened) path rather than declared here.
+                flips.clear();
+                longStep = false;
+            } else {
+                // Tie-break among near-equal stop ratios by largest |alpha|
+                // (numerical stability); successive heap pops visit the
+                // tolerance band in ascending ratio order.
+                const double ratioTol =
+                    1e-9 + 1e-7 * std::min(stopRatio, 1.0);
+                while (cand.begin() != end &&
+                       cand.front().ratio <= stopRatio + ratioTol) {
+                    if (std::fabs(cand.front().alpha) >
+                        std::fabs(enterAlpha)) {
+                        enterAlpha = cand.front().alpha;
+                        enter = cand.front().j;
+                    }
+                    std::pop_heap(cand.begin(), end, byRatioDesc);
+                    --end;
+                }
+            }
+        }
+        if (!longStep) {
+            const double ratioTol = 1e-9 + 1e-7 * std::min(bestRatio, 1.0);
+            for (const DualCand& c : cand) {
+                if (c.ratio > bestRatio + ratioTol) continue;
+                if (bland) {
+                    if (enter < 0 || c.j < enter) {
+                        enter = c.j;
+                        enterAlpha = c.alpha;
+                    }
+                } else if (std::fabs(c.alpha) > std::fabs(enterAlpha)) {
+                    enterAlpha = c.alpha;
+                    enter = c.j;
+                }
             }
         }
         if (enter < 0) {
@@ -844,25 +1018,88 @@ SolveStatus SimplexSolver::dualSimplex() {
             return SolveStatus::Infeasible;
         }
 
+        if (!flips.empty()) {
+            // Move every passed column to its other bound and shift x_B by
+            // -B^{-1} (sum a_j * delta_j), one FTRAN for the whole batch.
+            // Runs before the DSE/entering FTRANs below so the cached FT
+            // spike belonging to the entering column is not clobbered.
+            flipVec_.clear();
+            for (int j : flips) {
+                double delta = ub_[j] - lb_[j];
+                if (vstat_[j] == VStat::AtLower) {
+                    vstat_[j] = VStat::AtUpper;
+                } else {
+                    vstat_[j] = VStat::AtLower;
+                    delta = -delta;
+                }
+                if (delta == 0.0) continue;
+                for (int p = cscPtr_[j]; p < cscPtr_[j + 1]; ++p) {
+                    const int r = cscRow_[p];
+                    flipVec_.touch(r);
+                    flipVec_.val[r] += cscVal_[p] * delta;
+                }
+            }
+            factFtranSparse(flipVec_);
+            forSupport(flipVec_,
+                       [&](int i) { xb_[i] -= flipVec_.val[i]; });
+        }
+
         const double alphaE = enterAlpha;
         const double dz = (xb_[leaveRow] - target) / alphaE;
+
+        // DSE needs tau = B^{-1} rho before w overwrites the work vectors;
+        // the FTRAN below then re-caches the FT spike for factUpdate.
+        double rhoNorm2 = 0.0;
+        if (useDse) {
+            forSupport(rho,
+                       [&](int i) { rhoNorm2 += rho.val[i] * rho.val[i]; });
+            tauVec_.clear();
+            if (rho.dense) {
+                tauVec_.val = rho.val;
+                tauVec_.dense = true;  // idx empty + flags clear after clear()
+            } else {
+                for (int i : rho.idx) tauVec_.set(i, rho.val[i]);
+            }
+            factFtranSparse(tauVec_);
+        }
         ftranColumn(enter, w);
         const double enterValue = nonbasicValue(enter) + dz;
 
-        // Devex weight update from the entering column (the dual analogue
-        // of the primal scheme): rows moved by the pivot inherit the pivot
-        // row's weight scaled by their step, and the pivot row's own weight
-        // shrinks by the pivot element squared.
-        {
-            const double ar = std::fabs(w[leaveRow]) > 1e-12 ? w[leaveRow]
-                                                             : alphaE;
+        if (useDse) {
+            // Exact steepest-edge update (Forrest–Goldfarb):
+            //   gamma_r' = ||rho||^2 / alpha_r^2
+            //   gamma_i' = gamma_i - 2 (w_i/alpha_r) tau_i
+            //              + (w_i/alpha_r)^2 ||rho||^2      (i != r, w_i != 0)
+            // with w = B^{-1} a_q and tau = B^{-1} rho. The pivot row's new
+            // weight uses the exactly recomputed ||rho||^2, so any
+            // initialization error dies off as rows pivot.
+            const double ar = std::fabs(w.val[leaveRow]) > 1e-12
+                                  ? w.val[leaveRow]
+                                  : alphaE;
+            forSupport(w, [&](int i) {
+                if (i == leaveRow) return;
+                const double k = w.val[i] / ar;
+                if (k == 0.0) return;
+                const double g =
+                    gamma[i] - 2.0 * k * tauVec_.val[i] + k * k * rhoNorm2;
+                gamma[i] = std::max(g, 1e-10);
+            });
+            gamma[leaveRow] = std::max(rhoNorm2 / (ar * ar), 1e-10);
+        } else {
+            // Devex weight update from the entering column (the dual
+            // analogue of the primal scheme): rows moved by the pivot
+            // inherit the pivot row's weight scaled by their step, and the
+            // pivot row's own weight shrinks by the pivot element squared.
+            const double ar = std::fabs(w.val[leaveRow]) > 1e-12
+                                  ? w.val[leaveRow]
+                                  : alphaE;
             const double gammaR = std::max(gamma[leaveRow], 1.0);
             const double scale = gammaR / (ar * ar);
-            for (int i = 0; i < m_; ++i) {
-                if (w[i] == 0.0 || i == leaveRow) continue;
-                const double cndt = w[i] * w[i] * scale;
+            forSupport(w, [&](int i) {
+                if (w.val[i] == 0.0 || i == leaveRow) return;
+                const double cndt = w.val[i] * w.val[i] * scale;
                 if (cndt > gamma[i]) gamma[i] = cndt;
-            }
+            });
             gamma[leaveRow] = std::max(scale, 1.0);
             if (gamma[leaveRow] > kDevexReset) gamma.assign(m_, 1.0);
         }
@@ -878,6 +1115,9 @@ SolveStatus SimplexSolver::dualSimplex() {
 
         pivot(enter, leaveRow, w, enterValue,
               leaveToUpper ? VStat::AtUpper : VStat::AtLower);
+        // The weight update above already describes the post-pivot basis
+        // (both rules); re-validate what pivot() just invalidated.
+        dseFresh_ = true;
     }
 }
 
@@ -934,6 +1174,7 @@ SolveStatus SimplexSolver::addRowsAndResolve(const std::vector<Row>& rows) {
         basic_.push_back(n_ + i);
     }
     devex_.resize(static_cast<std::size_t>(n_) + m_, 1.0);
+    dseFresh_ = false;  // row set changed: DSE weights must restart
     if (!refactorize()) {
         setupSlackBasis();
         return primalSimplex(true);
@@ -1045,6 +1286,7 @@ bool SimplexSolver::loadBasis(const Basis& b) {
         return false;
     }
     resetDevex();
+    dseFresh_ = false;  // arbitrary loaded basis: DSE weights unknown
     basisValid_ = true;
     computeBasicSolution();
     return true;

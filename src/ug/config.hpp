@@ -119,6 +119,9 @@ struct UgStats {
     long long strongBranchProbes = 0; ///< strong-branching LP probes
     long long sepaFlowSolves = 0;     ///< separation oracle (max-flow) calls
     long long sepaCuts = 0;           ///< violated cuts found by separators
+    long long lpHyperSolves = 0;      ///< basis solves via reach kernels
+    long long lpDenseSolves = 0;      ///< basis solves via dense loops
+    long long lpSolveNnzSum = 0;      ///< summed solve-result support
     long long cutPoolDupRejected = 0;       ///< exact re-finds rejected
     long long cutPoolDominatedRejected = 0; ///< dominated incoming cuts rejected
     long long cutPoolDominatedEvicted = 0;  ///< pooled cuts evicted by subsets

@@ -47,6 +47,9 @@ void LoadCoordinator::foldLpEffort(const LpEffort& e) {
     stats_.strongBranchProbes += e.strongBranchProbes;
     stats_.sepaFlowSolves += e.sepaFlowSolves;
     stats_.sepaCuts += e.sepaCuts;
+    stats_.lpHyperSolves += e.hyperSolves;
+    stats_.lpDenseSolves += e.denseSolves;
+    stats_.lpSolveNnzSum += e.solveNnzSum;
     stats_.cutPoolDupRejected += e.poolDupRejected;
     stats_.cutPoolDominatedRejected += e.poolDominatedRejected;
     stats_.cutPoolDominatedEvicted += e.poolDominatedEvicted;

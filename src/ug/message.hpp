@@ -52,6 +52,13 @@ struct LpEffort {
     std::int64_t sepaFlowSolves = 0;    ///< separation oracle (max-flow) calls
     std::int64_t sepaCuts = 0;          ///< violated cuts found by separators
 
+    // Basis-solve sparsity split (FTRAN/BTRAN answered by the hyper-sparse
+    // reach kernels vs the dense fallback loops) and summed result support;
+    // mean result nnz = solveNnzSum / (hyperSolves + denseSolves).
+    std::int64_t hyperSolves = 0;       ///< reach-kernel basis solves
+    std::int64_t denseSolves = 0;       ///< dense-loop basis solves
+    std::int64_t solveNnzSum = 0;       ///< summed solve-result support
+
     // Dominance-filtered cut-pool counters (how lean the worker keeps its
     // LP): rejected/evicted cuts and the current pool size.
     std::int64_t poolDupRejected = 0;        ///< exact re-finds rejected

@@ -48,6 +48,9 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.strongBranchProbes = s.strongBranchProbes;
     e.sepaFlowSolves = s.sepaFlowSolves;
     e.sepaCuts = s.sepaCutsFound;
+    e.hyperSolves = s.lpHyperSolves;
+    e.denseSolves = s.lpDenseSolves;
+    e.solveNnzSum = s.lpSolveNnzSum;
     e.poolDupRejected = s.cutDupRejected;
     e.poolDominatedRejected = s.cutDominatedRejected;
     e.poolDominatedEvicted = s.cutDominatedEvicted;
