@@ -25,8 +25,8 @@ ugcop_add_bench(ablation_ug_rampup)
 add_executable(micro_kernels ${CMAKE_SOURCE_DIR}/bench/micro_kernels.cpp)
 set_target_properties(micro_kernels PROPERTIES
                       RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
-target_link_libraries(micro_kernels PRIVATE steiner sdp lp linalg
-                      benchmark::benchmark Threads::Threads)
+target_link_libraries(micro_kernels PRIVATE ugcip ug misdp steiner sdp lp
+                      linalg cip benchmark::benchmark Threads::Threads)
 ugcop_add_bench(ablation_misdp_modes)
 
 # Smoke-run the simplex benches under ctest (-L bench-smoke) and record the
@@ -78,3 +78,14 @@ add_test(NAME bench-smoke-cutpool
                  --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_cutpool.json
                  --benchmark_out_format=json)
 set_tests_properties(bench-smoke-cutpool PROPERTIES LABELS bench-smoke)
+
+# Cross-solver cut sharing smoke: archives the shared-pool vs isolated-pool
+# ramp-up comparison (summed max-flow rounds, final dual bound, share
+# pipeline counters) in BENCH_cutshare.json. SimEngine-deterministic.
+add_test(NAME bench-smoke-cutshare
+         COMMAND micro_kernels
+                 --benchmark_filter=BM_CutShareRampup.*
+                 --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_cutshare.json
+                 --benchmark_out_format=json)
+set_tests_properties(bench-smoke-cutshare PROPERTIES
+                     LABELS "bench-smoke;bench-smoke-cutshare")

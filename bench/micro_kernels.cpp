@@ -20,6 +20,8 @@
 #include "steiner/maxflow.hpp"
 #include "steiner/reductions.hpp"
 #include "steiner/stpmodel.hpp"
+#include "steiner/stpsolver.hpp"
+#include "ugcip/stp_plugins.hpp"
 
 namespace {
 
@@ -413,6 +415,50 @@ BENCHMARK(BM_CutPoolRootRows)
     ->Args({4, 1})
     ->Args({5, 0})
     ->Args({5, 1});
+
+/// Cross-solver cut sharing during ramp-up: a full simulated ug[CIP-Jack,*]
+/// run on a hypercube seed with the LoadCoordinator's global cut pool on
+/// (arg 1) or off (arg 0). The headline counter is the summed max-flow
+/// rounds across all solvers — cut-primed node transfers let receivers skip
+/// the separation work of re-deriving the fleet's root cuts — next to the
+/// final dual bound (must not degrade) and the share-pipeline counters.
+/// SimEngine makes every run bit-deterministic, so the counters are exact.
+void BM_CutShareRampup(benchmark::State& state) {
+    const int dim = static_cast<int>(state.range(0));
+    const bool share = state.range(1) != 0;
+    const steiner::Graph g = steiner::genHypercube(dim, true, 1);
+    ug::UgResult res;
+    for (auto _ : state) {
+        steiner::Graph copy = g;
+        steiner::SteinerSolver seq(std::move(copy));
+        seq.presolve();
+        ug::UgConfig cfg;
+        cfg.numSolvers = 4;
+        cfg.baseParams.setBool("stp/share/enable", share);
+        res = ugcip::solveSteinerParallel(seq.instance(), cfg,
+                                          /*simulated=*/true);
+        benchmark::DoNotOptimize(res.dualBound);
+    }
+    state.counters["flow_solves"] =
+        static_cast<double>(res.stats.sepaFlowSolves);
+    state.counters["dual_bound"] = res.dualBound;
+    state.counters["nodes"] =
+        static_cast<double>(res.stats.totalNodesProcessed);
+    state.counters["share_reported"] =
+        static_cast<double>(res.stats.shareCutsReported);
+    state.counters["share_sent"] =
+        static_cast<double>(res.stats.shareCutsSent);
+    state.counters["share_admitted"] =
+        static_cast<double>(res.stats.shareCutsAdmitted);
+    state.counters["share_invalid"] =
+        static_cast<double>(res.stats.shareCutsInvalid);
+}
+BENCHMARK(BM_CutShareRampup)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Iterations(1);
 
 void BM_SymmetricEigen(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));

@@ -275,7 +275,11 @@ void Solver::manageCutPool() {
         for (PoolCut& pc : cutPool_) {
             if (pc.lpIndex < 0 || pc.lpIndex >= static_cast<int>(duals.size()))
                 continue;
-            if (std::fabs(duals[pc.lpIndex]) > 1e-9)
+            // Cache the magnitude for overflow scoring: when a later prune
+            // runs with stale duals, the last fresh price is still a far
+            // better importance signal than falling back to aging.
+            pc.lastDual = std::fabs(duals[pc.lpIndex]);
+            if (pc.lastDual > 1e-9)
                 pc.age = 0;
             else
                 ++pc.age;
@@ -289,21 +293,32 @@ void Solver::manageCutPool() {
             break;
         }
 
-    // Overflow pruning down to "separating/maxpoolsize". With fresh duals
-    // the keep-set is chosen by greedy dual-magnitude + orthogonality
-    // selection: a cut's base score |y_i| * ||a_i||_2 measures how hard the
-    // last optimal basis leaned on it (scale-invariant: scaling a row
-    // scales its dual inversely), and the orthogonality term keeps the
-    // survivors from being near-parallel copies of one strong cut — a
-    // bundle of parallel binding rows prices like one row but costs many.
-    // Without fresh duals the fallback drops long-non-binding cuts
-    // (age >= 2, oldest first), only as many as needed.
+    // Overflow pruning down to "separating/maxpoolsize". The keep-set is
+    // chosen by greedy dual-magnitude + orthogonality selection: a cut's
+    // base score |y_i| * ||a_i||_2 measures how hard the last optimal basis
+    // leaned on it (scale-invariant: scaling a row scales its dual
+    // inversely), and the orthogonality term keeps the survivors from being
+    // near-parallel copies of one strong cut — a bundle of parallel binding
+    // rows prices like one row but costs many. The dual magnitudes come
+    // from each cut's cached last-fresh price (PoolCut::lastDual, refreshed
+    // by the aging loop above whenever the duals are fresh), so the rule
+    // stays active even when the *current* duals are stale — the old code
+    // degraded to age-based eviction then. Only when no cut has ever been
+    // priced by a fresh basis (lastDual < 0 everywhere) does the fallback
+    // drop long-non-binding cuts (age >= 2, oldest first), as many as
+    // needed.
     const int maxPool = params_.getInt("separating/maxpoolsize", 300);
     const int overflow = static_cast<int>(cutPool_.size()) - maxPool;
     std::vector<char> drop(cutPool_.size(), 0);
     int toDrop = 0;
-    if (overflow > 0 && lpBuilt_ && lpDualsFresh_) {
-        const auto& duals = lp_.duals();
+    bool anyDualSeen = false;
+    if (overflow > 0)
+        for (const PoolCut& pc : cutPool_)
+            if (!pc.retired && pc.lastDual >= 0.0) {
+                anyDualSeen = true;
+                break;
+            }
+    if (overflow > 0 && anyDualSeen) {
         std::vector<std::size_t> cand;   // non-retired pool indices
         std::vector<double> norm, base;  // ||a_i||_2, |y_i| * ||a_i||_2
         for (std::size_t i = 0; i < cutPool_.size(); ++i) {
@@ -312,11 +327,7 @@ void Solver::manageCutPool() {
             double n2 = 0.0;
             for (const auto& [j, a] : pc.row.coefs) n2 += a * a;
             const double nrm = std::sqrt(std::max(n2, 1e-30));
-            const double y =
-                (pc.lpIndex >= 0 &&
-                 pc.lpIndex < static_cast<int>(duals.size()))
-                    ? std::fabs(duals[pc.lpIndex])
-                    : 0.0;
+            const double y = std::max(pc.lastDual, 0.0);
             cand.push_back(i);
             norm.push_back(nrm);
             base.push_back(y * nrm);

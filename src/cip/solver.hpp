@@ -86,6 +86,13 @@ struct Stats {
     std::int64_t cutDominatedEvicted = 0;   ///< pooled cuts evicted by subsets
     std::int64_t cutPoolSize = 0;           ///< plugin pool size (last report)
     std::int64_t cutsRetired = 0;  ///< LP cut rows dropped (aging/dominance)
+
+    // Cross-solver cut sharing (receiver side), reported by plugins via
+    // Solver::recordSharedCutStats: supports delivered with the assignment,
+    // and their fate at the local certification gate.
+    std::int64_t sharedCutsReceived = 0;  ///< shared supports queued
+    std::int64_t sharedCutsAdmitted = 0;  ///< certified + violated, in the LP
+    std::int64_t sharedCutsInvalid = 0;   ///< failed certification, dropped
 };
 
 class Solver {
@@ -214,6 +221,13 @@ public:
         stats_.cutDominatedEvicted += dominatedEvicted;
         stats_.cutPoolSize = poolSize;
     }
+    /// Accumulate cross-solver shared-cut counters (deltas).
+    void recordSharedCutStats(std::int64_t received, std::int64_t admitted,
+                              std::int64_t invalid) {
+        stats_.sharedCutsReceived += received;
+        stats_.sharedCutsAdmitted += admitted;
+        stats_.sharedCutsInvalid += invalid;
+    }
     const Node* currentNode() const { return processing_.get(); }
     std::mt19937_64& rng() { return rng_; }
 
@@ -275,6 +289,11 @@ private:
         int lpIndex = -1;         ///< LP row position (see invariant above)
         int age = 0;              ///< consecutive zero-dual checks
         bool retired = false;     ///< dominance-retired; drop at next manage
+        double lastDual = -1.0;   ///< |dual| at the last fresh-dual check
+                                  ///< (-1: never priced with fresh duals);
+                                  ///< keeps overflow scoring on the
+                                  ///< magnitude+orthogonality rule even when
+                                  ///< the current duals are stale
     };
     std::vector<PoolCut> cutPool_;
     std::vector<Row> pendingCuts_;               ///< rows awaiting LP flush

@@ -619,8 +619,9 @@ void LuFactor::btranLSparse(SparseVec& y) {
     }
 }
 
-bool LuFactor::ftranSparse(SparseVec& x) {
-    const bool sparse = chooseSparse(ftranCtl_, x);
+bool LuFactor::ftranSparse(SparseVec& x, LuRhs cls) {
+    HyperCtl& ctl = ftranCtl_[static_cast<int>(cls)];
+    const bool sparse = chooseSparse(ctl, x);
     if (sparse) {
         if (!lOpsValid_) rebuildLOps();
         ftranLSparse(x);
@@ -632,12 +633,13 @@ bool LuFactor::ftranSparse(SparseVec& x) {
         x.markDense();
         ftran(x.val);
     }
-    noteDensity(ftranCtl_, x);
+    noteDensity(ctl, x);
     return sparse;
 }
 
 bool LuFactor::ftranSpikeSparse(SparseVec& x) {
-    const bool sparse = chooseSparse(ftranCtl_, x);
+    HyperCtl& ctl = ftranCtl_[static_cast<int>(LuRhs::Column)];
+    const bool sparse = chooseSparse(ctl, x);
     if (sparse) {
         if (!lOpsValid_) rebuildLOps();
         ftranLSparse(x);
@@ -660,12 +662,13 @@ bool LuFactor::ftranSpikeSparse(SparseVec& x) {
         ftranSpike(x.val);
         spikeSparse_ = false;
     }
-    noteDensity(ftranCtl_, x);
+    noteDensity(ctl, x);
     return sparse;
 }
 
-bool LuFactor::btranSparse(SparseVec& y) {
-    const bool sparse = chooseSparse(btranCtl_, y);
+bool LuFactor::btranSparse(SparseVec& y, LuRhs cls) {
+    HyperCtl& ctl = btranCtl_[static_cast<int>(cls)];
+    const bool sparse = chooseSparse(ctl, y);
     if (sparse) {
         if (!lOpsValid_) rebuildLOps();
         btranUSparse(y);
@@ -675,7 +678,7 @@ bool LuFactor::btranSparse(SparseVec& y) {
         y.markDense();
         btran(y.val);
     }
-    noteDensity(btranCtl_, y);
+    noteDensity(ctl, y);
     return sparse;
 }
 
@@ -711,11 +714,11 @@ bool LuFactor::update(int leaveRow) {
     // maintenance costs more than touching every tail position once.
     for (const auto& e : u) alpha_[e.id] = e.val;
     double delta = spike_[leaveRow];
-    // Skip reach-index upkeep while no reach kernel can run (controller has
-    // both directions on the dense fallback, or the kernels are switched
-    // off); the indexes go stale and are rebuilt on demand.
-    const bool maintainLOps =
-        lOpsValid_ && hyper_ && !(ftranCtl_.dense && btranCtl_.dense);
+    // Skip reach-index upkeep while no reach kernel can run (every
+    // (direction, class) controller is on the dense fallback, or the
+    // kernels are switched off); the indexes go stale and are rebuilt on
+    // demand.
+    const bool maintainLOps = lOpsValid_ && hyper_ && !allCtlDense();
     if (!maintainLOps) lOpsValid_ = false;
     auto eliminate = [&](int id, double a) {
         const double mult = a / Udiag_[id];

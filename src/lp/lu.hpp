@@ -45,6 +45,20 @@ inline constexpr double kLuPivotTol = 1e-11;
 /// its column's largest entry.
 inline constexpr double kLuMarkowitzTau = 0.1;
 
+/// Right-hand-side class for the hyper-sparse solves. The three RHS
+/// families a simplex iteration feeds through the factor have persistently
+/// different result densities (an entering structural column is far sparser
+/// than a unit pricing row; a bound-flip patch is sparser still), so each
+/// class keeps its own density EWMA + hysteresis state instead of sharing
+/// one per direction — a dense burst of pricing rows no longer parks
+/// entering-column solves on the dense fallback and vice versa.
+enum class LuRhs {
+    Column = 0,  ///< entering column / spike (FTRAN of a matrix column)
+    Row = 1,     ///< pricing row ops (BTRAN unit row, FTRAN of the row)
+    Flip = 2,    ///< bound-flip patch column accumulations
+};
+inline constexpr int kLuRhsClasses = 3;
+
 class LuFactor {
 public:
     /// Reset to an empty, invalid factor of dimension m.
@@ -85,15 +99,17 @@ public:
     // computed by graph traversal over the L/U nonzero structure; the
     // numeric pass then visits only reached positions, in exactly the order
     // the dense loops would, so the two paths produce bit-identical nonzero
-    // values. Each call decides per direction between the reach kernel and
-    // the dense loop via a result-density EWMA with hysteresis (enter dense
-    // above ~30%, re-enter sparse below ~15%); the return value reports
-    // which path ran (true = reach kernel). The result support is sorted
-    // ascending either way.
-    bool ftranSparse(SparseVec& x);
-    bool btranSparse(SparseVec& y);
+    // values. Each call decides between the reach kernel and the dense loop
+    // via a result-density EWMA with hysteresis (enter dense above ~30%,
+    // re-enter sparse below ~15%) kept per (direction, LuRhs class); the
+    // return value reports which path ran (true = reach kernel). The result
+    // support is sorted ascending either way, and the numeric result is
+    // bit-identical on both paths regardless of the class passed.
+    bool ftranSparse(SparseVec& x, LuRhs cls = LuRhs::Column);
+    bool btranSparse(SparseVec& y, LuRhs cls = LuRhs::Row);
     /// Sparse analogue of ftranSpike(): caches the post-L spike (support +
-    /// values) for the coming Forrest–Tomlin update.
+    /// values) for the coming Forrest–Tomlin update. Always an entering
+    /// column, so it shares the LuRhs::Column FTRAN controller.
     bool ftranSpikeSparse(SparseVec& x);
     /// Master switch for the reach kernels (density fallback still applies).
     void setHyperSparse(bool on) { hyper_ = on; }
@@ -133,7 +149,7 @@ private:
 
     // Hyper-sparse internals.
     struct HyperCtl {
-        double ewma = 0.0;  ///< smoothed result density per direction
+        double ewma = 0.0;  ///< smoothed result density per (dir, class)
         bool dense = false; ///< currently in dense fallback mode
     };
     bool chooseSparse(HyperCtl& c, const SparseVec& v) const;
@@ -201,7 +217,18 @@ private:
     std::vector<std::pair<int, int>> dfsStack_; ///< (id, next edge)
 
     bool hyper_ = true;
-    HyperCtl ftranCtl_, btranCtl_;  ///< persist across refactorizations
+    /// Density controllers per direction and RHS class, indexed by LuRhs;
+    /// persist across refactorizations.
+    HyperCtl ftranCtl_[kLuRhsClasses];
+    HyperCtl btranCtl_[kLuRhsClasses];
+    /// True when every (direction, class) controller sits on the dense
+    /// fallback — the only state in which update() may skip reach-index
+    /// upkeep, since no reach kernel can run before the next re-entry.
+    bool allCtlDense() const {
+        for (int k = 0; k < kLuRhsClasses; ++k)
+            if (!ftranCtl_[k].dense || !btranCtl_[k].dense) return false;
+        return true;
+    }
 
     // Markowitz workspace, persistent across factorizations: warm resolves
     // refactorize every few dozen pivots, and reallocating ~6 vectors of

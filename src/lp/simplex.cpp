@@ -194,17 +194,17 @@ void SimplexSolver::ensureSparseWork() {
     }
 }
 
-void SimplexSolver::factFtranSparse(SparseVec& x) {
+void SimplexSolver::factFtranSparse(SparseVec& x, LuRhs cls) {
     const bool sparse = factKind_ == Factorization::PFI
                             ? eta_.ftranSparseVec(x)
-                            : lu_.ftranSparse(x);
+                            : lu_.ftranSparse(x, cls);
     countSolve(sparse, x);
 }
 
-void SimplexSolver::factBtranSparse(SparseVec& y) {
+void SimplexSolver::factBtranSparse(SparseVec& y, LuRhs cls) {
     const bool sparse = factKind_ == Factorization::PFI
                             ? eta_.btranSparseVec(y)
-                            : lu_.btranSparse(y);
+                            : lu_.btranSparse(y, cls);
     countSolve(sparse, y);
 }
 
@@ -1039,7 +1039,7 @@ SolveStatus SimplexSolver::dualSimplex() {
                     flipVec_.val[r] += cscVal_[p] * delta;
                 }
             }
-            factFtranSparse(flipVec_);
+            factFtranSparse(flipVec_, LuRhs::Flip);
             forSupport(flipVec_,
                        [&](int i) { xb_[i] -= flipVec_.val[i]; });
         }
@@ -1060,7 +1060,10 @@ SolveStatus SimplexSolver::dualSimplex() {
             } else {
                 for (int i : rho.idx) tauVec_.set(i, rho.val[i]);
             }
-            factFtranSparse(tauVec_);
+            // tau carries the pricing row back through FTRAN — its density
+            // tracks rho's, not an entering column's, so it shares the Row
+            // controller.
+            factFtranSparse(tauVec_, LuRhs::Row);
         }
         ftranColumn(enter, w);
         const double enterValue = nonbasicValue(enter) + dz;

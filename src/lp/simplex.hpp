@@ -266,9 +266,11 @@ private:
     void factFtran(std::vector<double>& x) const;
     void factBtran(std::vector<double>& y) const;
     /// Sparse dispatch with telemetry: solve through the reach kernels when
-    /// the factor offers them, fall back to dense + support rebuild.
-    void factFtranSparse(SparseVec& x);
-    void factBtranSparse(SparseVec& y);
+    /// the factor offers them, fall back to dense + support rebuild. `cls`
+    /// selects the LU factor's per-RHS-class density controller (ignored by
+    /// the PFI path, which has no hysteresis state).
+    void factFtranSparse(SparseVec& x, LuRhs cls = LuRhs::Column);
+    void factBtranSparse(SparseVec& y, LuRhs cls = LuRhs::Row);
     /// Size the sparse work vectors to the current row count.
     void ensureSparseWork();
     void countSolve(bool sparse, const SparseVec& v) {

@@ -105,7 +105,9 @@ CutPool::Verdict CutPool::offer(const std::vector<int>& support, int* id,
 
     Entry& e = cuts_[static_cast<std::size_t>(newId)];
     e.vars = sorted_;
+    e.stamp = ++admitClock_;
     e.alive = true;
+    admitLog_.emplace_back(newId, e.stamp);
     for (int v : e.vars) {
         if (v >= static_cast<int>(index_.size()))
             index_.resize(static_cast<std::size_t>(v) + 1);
@@ -115,6 +117,19 @@ CutPool::Verdict CutPool::offer(const std::vector<int>& support, int* id,
     ++stats_.admitted;
     if (id) *id = newId;
     return Verdict::Admitted;
+}
+
+int CutPool::exportNewAdmitted(ug::CutBundle& bundle, int maxCuts) {
+    int appended = 0;
+    while (shareCursor_ < admitLog_.size() && appended < maxCuts) {
+        const auto [cid, stamp] = admitLog_[shareCursor_++];
+        const Entry& e = cuts_[static_cast<std::size_t>(cid)];
+        // Skip entries that died (or whose id was recycled by a *later*
+        // admission — that one has its own log record) before export.
+        if (!e.alive || e.stamp != stamp) continue;
+        if (bundle.append(e.vars, /*rhsClass=*/1)) ++appended;
+    }
+    return appended;
 }
 
 }  // namespace steiner

@@ -26,10 +26,18 @@
 // re-admitted. Only globally valid cuts may be pooled — node-local rows
 // (vertex-branching cuts) are only valid while their vertex is required and
 // must never dominate a global cut.
+// Cross-solver sharing: every admission is stamped and logged, and
+// exportNewAdmitted() drains the log into a ug::CutBundle (delta-encoded
+// var-id sets + RHS class — the solver-independent form that crosses rank
+// boundaries). cutbundle.hpp is header-only, so the steiner library encodes
+// bundles without linking the ug library.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "ug/cutbundle.hpp"
 
 namespace steiner {
 
@@ -84,9 +92,18 @@ public:
     std::size_t size() const { return alive_; }
     const CutPoolStats& stats() const { return stats_; }
 
+    /// Serialize cuts admitted since the last call into `bundle` (consuming
+    /// cursor over the admission log; at most `maxCuts` per call, the rest
+    /// stays queued). Cuts evicted or removed before export are skipped —
+    /// only supports still alive in the pool are worth shipping. Every
+    /// pooled cut is a globally valid "sum >= 1" row, so everything exported
+    /// is safe to share across ranks. Returns the number appended.
+    int exportNewAdmitted(ug::CutBundle& bundle, int maxCuts);
+
 private:
     struct Entry {
         std::vector<int> vars;  ///< sorted, unique support signature
+        std::uint64_t stamp = 0;  ///< admission stamp (detects id reuse)
         bool alive = false;
     };
 
@@ -100,6 +117,12 @@ private:
     std::vector<int> touchCount_;
     std::vector<int> touched_;
     std::vector<int> sorted_;  ///< reusable sorted-support buffer
+    /// Admission log for exportNewAdmitted: (id, stamp) per admission; the
+    /// stamp disambiguates recycled ids (an id re-admitted after eviction
+    /// must not re-export the old entry's position twice).
+    std::vector<std::pair<int, std::uint64_t>> admitLog_;
+    std::size_t shareCursor_ = 0;
+    std::uint64_t admitClock_ = 0;
     std::size_t alive_ = 0;
     int maxSupport_ = 0;
     CutPoolStats stats_;

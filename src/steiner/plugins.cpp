@@ -45,6 +45,146 @@ void StpConshdlr::syncRetiredCuts(cip::Solver& solver) {
     }
 }
 
+void StpConshdlr::primeSharedCuts(cip::Solver& solver,
+                                  const ug::CutBundle& cuts) {
+    if (cuts.empty()) return;
+    std::vector<ug::CutSupport> decoded;
+    if (!cuts.decode(decoded)) {
+        // Corrupt framing: nothing in the bundle is trustworthy.
+        solver.recordSharedCutStats(cuts.count(), 0, cuts.count());
+        return;
+    }
+    std::int64_t invalid = 0;
+    const int numVars = inst_.model.numVars();
+    for (ug::CutSupport& cs : decoded) {
+        // Structural screen: only "sum >= 1" rows over known model vars may
+        // even be queued; graph-level certification happens at activation.
+        bool ok = (cs.rhsClass == 1);
+        if (ok)
+            for (int var : cs.vars)
+                if (var < 0 || var >= numVars) {
+                    ok = false;
+                    break;
+                }
+        if (!ok) {
+            ++invalid;
+            continue;
+        }
+        primed_.push_back({std::move(cs.vars), 0});
+    }
+    solver.recordSharedCutStats(static_cast<std::int64_t>(decoded.size()), 0,
+                                invalid);
+}
+
+ug::CutBundle StpConshdlr::takeShareableCuts(int maxCuts) {
+    ug::CutBundle bundle;
+    if (maxCuts > 0) pool_.exportNewAdmitted(bundle, maxCuts);
+    return bundle;
+}
+
+bool StpConshdlr::certifySupport(const std::vector<int>& vars) {
+    const Graph& g = inst_.graph;
+    const int arcSpace = 2 * g.numEdges();
+    arcMask_.assign(static_cast<std::size_t>(arcSpace), 0);
+    for (int var : vars) {
+        if (var < 0 || var >= static_cast<int>(inst_.varArc.size()))
+            return false;
+        const int a = inst_.varArc[static_cast<std::size_t>(var)];
+        if (a < 0 || a >= arcSpace) return false;
+        arcMask_[static_cast<std::size_t>(a)] = 1;
+    }
+    // "sum of support arcs >= 1" is valid iff every feasible arborescence
+    // uses a support arc, iff removing the support disconnects some terminal
+    // from the root. BFS over the remaining modeled arcs (mirrors check()).
+    std::vector<bool> seen(g.numVertices(), false);
+    std::queue<int> q;
+    q.push(inst_.root);
+    seen[inst_.root] = true;
+    while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int e : g.incident(v)) {
+            if (g.edge(e).deleted) continue;
+            const int a = (g.edge(e).u == v) ? 2 * e : 2 * e + 1;  // v -> w
+            if (inst_.arcVar[static_cast<std::size_t>(a)] < 0 ||
+                arcMask_[static_cast<std::size_t>(a)])
+                continue;
+            const int w = g.edge(e).other(v);
+            if (!seen[w]) {
+                seen[w] = true;
+                q.push(w);
+            }
+        }
+    }
+    for (int t : g.terminals())
+        if (!seen[t]) return true;  // disconnects a terminal: valid
+    return false;
+}
+
+int StpConshdlr::activatePrimedCuts(cip::Solver& solver,
+                                    const std::vector<double>& x,
+                                    double violationTol) {
+    if (primed_.empty()) return 0;
+    const bool dominance =
+        solver.params().getBool("stp/sepa/pooldominance", true);
+    int added = 0;
+    std::int64_t invalid = 0;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < primed_.size(); ++i) {
+        PrimedCut pc = std::move(primed_[i]);
+        double sum = 0.0;
+        for (int var : pc.vars) sum += x[static_cast<std::size_t>(var)];
+        if (sum >= 1.0 - violationTol) {
+            // Satisfied by the current relaxation: keep it queued — a later
+            // LP solution may violate it (certification is also deferred, so
+            // never-violated supports cost no BFS at all).
+            primed_[keep++] = std::move(pc);
+            continue;
+        }
+        if (pc.cert == 0) {
+            if (!certifySupport(pc.vars)) {
+                ++invalid;  // stale/corrupt support: dropped, never a row
+                continue;
+            }
+            pc.cert = 1;
+        }
+        int poolId = -1;
+        if (dominance) {
+            const CutPool::Verdict v =
+                pool_.offer(pc.vars, &poolId, &evictScratch_);
+            if (v == CutPool::Verdict::Duplicate ||
+                v == CutPool::Verdict::Dominated)
+                continue;  // an at-least-as-strong local row already exists
+            if (v == CutPool::Verdict::Untracked) poolId = -1;
+            if (!evictScratch_.empty()) {
+                retireScratch_.clear();
+                for (int pid : evictScratch_) {
+                    auto it = tokenOf_.find(pid);
+                    if (it == tokenOf_.end()) continue;
+                    retireScratch_.push_back(it->second);
+                    poolIdOf_.erase(it->second);
+                    tokenOf_.erase(it);
+                }
+                solver.retireCuts(retireScratch_);
+            }
+        }
+        std::vector<std::pair<int, double>> coefs;
+        coefs.reserve(pc.vars.size());
+        for (int var : pc.vars) coefs.emplace_back(var, 1.0);
+        const std::int64_t token =
+            solver.addCut(cip::Row(std::move(coefs), 1.0, cip::kInf));
+        if (poolId >= 0) {
+            tokenOf_[poolId] = token;
+            poolIdOf_[token] = poolId;
+        }
+        ++added;
+    }
+    primed_.resize(keep);
+    if (added > 0 || invalid > 0)
+        solver.recordSharedCutStats(0, added, invalid);
+    return added;
+}
+
 CutSepaConfig StpConshdlr::sepaConfig(const cip::Solver& solver) const {
     const cip::ParamSet& p = solver.params();
     CutSepaConfig cfg;
@@ -141,6 +281,26 @@ int StpConshdlr::separate(cip::Solver& solver, const std::vector<double>& x) {
     // the same cut would be rejected as a "duplicate" of a row that no
     // longer exists.
     syncRetiredCuts(solver);
+
+    // Shared supports received from the coordinator activate first: they are
+    // free (no max-flow solve), already filtered for relevance, and each one
+    // that fires replaces separation work the donor already paid for. When
+    // any fire, the round ends here — the LP must absorb the donor's rows
+    // before it is worth paying max-flow solves on a fractional point those
+    // rows are about to cut off; the engine separates the re-solved point on
+    // the next round.
+    const int primedAdded = activatePrimedCuts(solver, x, cfg.violationTol);
+    if (primedAdded > 0) {
+        solver.addCost(1);  // deterministic round charge, same as below
+        const CutPoolStats& ps = pool_.stats();
+        solver.recordCutPoolStats(
+            ps.dupRejected - reportedPool_.dupRejected,
+            ps.dominatedRejected - reportedPool_.dominatedRejected,
+            ps.dominatedEvicted - reportedPool_.dominatedEvicted,
+            static_cast<std::int64_t>(pool_.size()));
+        reportedPool_ = ps;
+        return primedAdded;
+    }
     engine_.beginRound(x, cfg);
 
     std::vector<int> terms;
@@ -515,6 +675,13 @@ void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
         p.setBool("stp/sepa/pooldominance", true);
     if (!p.has("separating/poolmaxsupport"))
         p.setInt("separating/poolmaxsupport", 0);
+    // Cross-solver cut sharing: piggyback newly admitted pool supports on
+    // Status/Terminated (bounded batches) and accept certification-gated
+    // priming bundles with assignments. Read by the ug layer and by the
+    // SteinerUserPlugins sharing hooks; disabling reproduces strictly
+    // per-solver separation.
+    if (!p.has("stp/share/enable")) p.setBool("stp/share/enable", true);
+    if (!p.has("stp/share/maxcutsup")) p.setInt("stp/share/maxcutsup", 32);
 }
 
 }  // namespace steiner

@@ -54,12 +54,34 @@ public:
     /// The solver-lifetime dominance pool (exposed for tests/benchmarks).
     const CutPool& cutPool() const { return pool_; }
 
+    // -- Cross-solver cut sharing ------------------------------------------
+    /// Queue shared supports received with the assignment. Nothing enters
+    /// the LP here: each support is violation-checked against the current
+    /// relaxation and certified valid (removing its arcs must disconnect
+    /// some terminal from the root) during separate() before activation, so
+    /// a corrupt or stale bundle can never inject an invalid row.
+    void primeSharedCuts(cip::Solver& solver, const ug::CutBundle& cuts);
+    /// Serialize up to `maxCuts` newly pool-admitted supports (consuming
+    /// cursor; see CutPool::exportNewAdmitted) for piggybacking on
+    /// Status/Terminated messages.
+    ug::CutBundle takeShareableCuts(int maxCuts);
+    /// Number of received-but-not-yet-activated shared supports (tests).
+    std::size_t primedPending() const { return primed_.size(); }
+
 private:
     CutSepaConfig sepaConfig(const cip::Solver& solver) const;
     std::vector<std::pair<int, double>> inArcCoefs(int v) const;
     /// Drop cuts the solver aged out of its LP pool from the dominance pool
     /// (consumes Solver::takeRetiredCutTokens), so they can be re-admitted.
     void syncRetiredCuts(cip::Solver& solver);
+    /// Certification oracle for shared supports: true iff deleting the
+    /// support's arcs leaves some terminal unreachable from the root, i.e.
+    /// "sum of support arcs >= 1" holds for every feasible arborescence.
+    bool certifySupport(const std::vector<int>& vars);
+    /// Activate violated+certified primed supports (dominance pool +
+    /// solver.addCut); returns the number added, records shared-cut stats.
+    int activatePrimedCuts(cip::Solver& solver, const std::vector<double>& x,
+                           double violationTol);
 
     const SapInstance& inst_;
     CutSeparationEngine engine_;
@@ -78,6 +100,16 @@ private:
     std::unordered_map<std::int64_t, int> poolIdOf_;  ///< token -> pool id
     std::vector<int> evictScratch_;
     std::vector<std::int64_t> retireScratch_;
+
+    // Shared supports waiting for activation. cert: 0 = not yet certified,
+    // 1 = certified valid (certification runs once; invalid supports are
+    // dropped — and counted — the moment certification fails).
+    struct PrimedCut {
+        std::vector<int> vars;
+        signed char cert = 0;
+    };
+    std::vector<PrimedCut> primed_;
+    std::vector<char> arcMask_;  ///< certifySupport scratch: arcs removed
 };
 
 class StpVertexBranching : public cip::Branchrule {

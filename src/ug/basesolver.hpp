@@ -61,6 +61,20 @@ public:
     /// Register a callback fired on each new incumbent.
     virtual void setIncumbentCallback(
         std::function<void(const cip::Solution&)> cb) = 0;
+
+    /// Consume up to `maxCuts` globally valid cut supports newly admitted to
+    /// this solver's dominance pool since the last call (cross-solver cut
+    /// sharing; piggybacked on Status/Terminated). Base solvers without a
+    /// shareable cut pool return an empty bundle.
+    virtual CutBundle takeShareableCuts(int maxCuts) {
+        (void)maxCuts;
+        return {};
+    }
+
+    /// Offer shared cut supports received with the assignment. They must not
+    /// enter the LP directly — implementations certify validity and check
+    /// violation against their own relaxation first. Default: ignore.
+    virtual void primeSharedCuts(const CutBundle& cuts) { (void)cuts; }
 };
 
 /// Creates base solvers; `params` carries racing settings (merged on top of

@@ -126,6 +126,16 @@ struct UgStats {
     long long cutPoolDominatedRejected = 0; ///< dominated incoming cuts rejected
     long long cutPoolDominatedEvicted = 0;  ///< pooled cuts evicted by subsets
     long long maxCutPoolSize = 0;     ///< largest reported dominance pool
+
+    // Cross-solver cut sharing. LC-side global pool flow (reported supports
+    // in, admitted after dominance merge, attached to assignments out) plus
+    // the receiver-side certification outcomes folded from worker reports.
+    long long shareCutsReported = 0;  ///< supports piggybacked to the LC
+    long long shareCutsPooled = 0;    ///< admitted into the LC global pool
+    long long shareCutsSent = 0;      ///< supports attached to assignments
+    long long shareCutsReceived = 0;  ///< supports delivered to base solvers
+    long long shareCutsAdmitted = 0;  ///< certified + violated, entered an LP
+    long long shareCutsInvalid = 0;   ///< failed receiver certification
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart

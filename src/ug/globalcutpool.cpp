@@ -1,0 +1,196 @@
+#include "ug/globalcutpool.hpp"
+
+#include <algorithm>
+
+namespace ug {
+
+GlobalCutPool::GlobalCutPool(int numRanks, int capacity)
+    : knownWords_(std::max(1, (numRanks + 63) / 64)),
+      capacity_(std::max(1, capacity)) {}
+
+GlobalCutPool::MergeStats GlobalCutPool::merge(const CutBundle& bundle,
+                                               int origin) {
+    MergeStats ms;
+    if (bundle.empty()) return ms;
+    std::vector<CutSupport> cuts;
+    if (!bundle.decode(cuts)) return ms;  // corrupt: drop whole bundle
+    ms.reported = static_cast<int>(cuts.size());
+    for (const CutSupport& cs : cuts)
+        if (offer(cs, origin)) ++ms.pooled;
+    pooled_ += ms.pooled;
+    return ms;
+}
+
+bool GlobalCutPool::offer(const CutSupport& cs, int origin) {
+    const int n = static_cast<int>(cs.vars.size());
+    if (n == 0) return false;
+
+    // Overlap counting over the inverted index: one pass over the incoming
+    // support classifies every indexed entry as duplicate, dominating subset,
+    // or dominated superset (same trick as steiner::CutPool::offer).
+    touched_.clear();
+    const int maxVar = cs.vars.back();
+    if (maxVar >= static_cast<int>(index_.size()))
+        index_.resize(static_cast<std::size_t>(maxVar) + 1);
+    for (int v : cs.vars) {
+        for (int id : index_[static_cast<std::size_t>(v)]) {
+            if (static_cast<std::size_t>(id) >= touchCount_.size())
+                touchCount_.resize(entries_.size(), 0);
+            if (touchCount_[static_cast<std::size_t>(id)]++ == 0)
+                touched_.push_back(id);
+        }
+    }
+
+    bool rejected = false;
+    bool duplicate = false;
+    for (int id : touched_) {
+        Entry& e = entries_[static_cast<std::size_t>(id)];
+        const int common = touchCount_[static_cast<std::size_t>(id)];
+        const int esize = static_cast<int>(e.vars.size());
+        if (e.rhsClass != cs.rhsClass) continue;  // incomparable rows
+        if (common == esize && esize <= n) {
+            // Existing support is a subset (or equal): it dominates us.
+            rejected = true;
+            duplicate = (esize == n);
+            if (duplicate) {
+                markKnown(e, origin);
+                e.touch = ++clock_;  // re-reported: still in circulation
+            }
+            break;
+        }
+    }
+    if (rejected) {
+        for (int id : touched_) touchCount_[static_cast<std::size_t>(id)] = 0;
+        if (duplicate)
+            ++dupRejected_;
+        else
+            ++dominatedRejected_;
+        return false;
+    }
+
+    // Admit: claim the slot first, then evict strict supersets (evicting
+    // first would let the new entry reuse an id still listed in touched_).
+    int newId;
+    if (!freeIds_.empty()) {
+        newId = freeIds_.back();
+        freeIds_.pop_back();
+    } else {
+        newId = static_cast<int>(entries_.size());
+        entries_.emplace_back();
+        touchCount_.push_back(0);
+    }
+    for (int id : touched_) {
+        const int common = touchCount_[static_cast<std::size_t>(id)];
+        touchCount_[static_cast<std::size_t>(id)] = 0;
+        const Entry& e = entries_[static_cast<std::size_t>(id)];
+        if (e.alive && e.rhsClass == cs.rhsClass && common == n &&
+            static_cast<int>(e.vars.size()) > n)
+            evict(id, &dominatedEvicted_);
+    }
+
+    Entry& e = entries_[static_cast<std::size_t>(newId)];
+    e.vars = cs.vars;
+    e.rhsClass = cs.rhsClass;
+    e.touch = ++clock_;
+    e.known.assign(static_cast<std::size_t>(knownWords_), 0);
+    e.alive = true;
+    markKnown(e, origin);
+    indexEntry(newId);
+    ++liveCount_;
+
+    if (liveCount_ > capacity_) evictOldestOver(newId);
+    return true;
+}
+
+CutBundle GlobalCutPool::bundleFor(int receiver,
+                                   const cip::SubproblemDesc& desc,
+                                   int maxCuts) {
+    CutBundle out;
+    if (maxCuts <= 0 || liveCount_ == 0) return out;
+
+    // Vars fixed to 1 on the node's root path make "sum >= 1" rows over them
+    // trivially satisfied — not worth the receiver's certification work.
+    int maxFixed = -1;
+    for (const cip::BoundChange& bc : desc.boundChanges)
+        if (bc.lb > 0.5 && bc.var > maxFixed) maxFixed = bc.var;
+    fixedOne_.assign(static_cast<std::size_t>(maxFixed) + 1, 0);
+    for (const cip::BoundChange& bc : desc.boundChanges)
+        if (bc.lb > 0.5 && bc.var >= 0)
+            fixedOne_[static_cast<std::size_t>(bc.var)] = 1;
+
+    order_.clear();
+    for (int id = 0; id < static_cast<int>(entries_.size()); ++id) {
+        const Entry& e = entries_[static_cast<std::size_t>(id)];
+        if (e.alive && !knows(e, receiver)) order_.push_back(id);
+    }
+    // Newest-touched first; the touch clock is strictly monotone so the
+    // order (and with it the whole run) is deterministic.
+    std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+        return entries_[static_cast<std::size_t>(a)].touch >
+               entries_[static_cast<std::size_t>(b)].touch;
+    });
+
+    for (int id : order_) {
+        if (out.count() >= maxCuts) break;
+        Entry& e = entries_[static_cast<std::size_t>(id)];
+        bool trivial = false;
+        for (int v : e.vars)
+            if (v <= maxFixed && fixedOne_[static_cast<std::size_t>(v)]) {
+                trivial = true;
+                break;
+            }
+        if (trivial) continue;
+        if (!out.append(e.vars, e.rhsClass)) continue;
+        markKnown(e, receiver);
+        e.touch = ++clock_;
+        ++sent_;
+    }
+    return out;
+}
+
+std::vector<CutSupport> GlobalCutPool::snapshot() const {
+    std::vector<CutSupport> out;
+    for (const Entry& e : entries_)
+        if (e.alive) out.push_back({e.vars, e.rhsClass});
+    return out;
+}
+
+void GlobalCutPool::evict(int id, std::int64_t* counter) {
+    Entry& e = entries_[static_cast<std::size_t>(id)];
+    unindexEntry(id);
+    e.alive = false;
+    e.vars.clear();
+    e.known.clear();
+    freeIds_.push_back(id);
+    --liveCount_;
+    ++*counter;
+}
+
+void GlobalCutPool::indexEntry(int id) {
+    for (int v : entries_[static_cast<std::size_t>(id)].vars)
+        index_[static_cast<std::size_t>(v)].push_back(id);
+}
+
+void GlobalCutPool::unindexEntry(int id) {
+    for (int v : entries_[static_cast<std::size_t>(id)].vars) {
+        std::vector<int>& lst = index_[static_cast<std::size_t>(v)];
+        lst.erase(std::remove(lst.begin(), lst.end(), id), lst.end());
+    }
+}
+
+void GlobalCutPool::evictOldestOver(int keepId) {
+    while (liveCount_ > capacity_) {
+        int oldest = -1;
+        for (int id = 0; id < static_cast<int>(entries_.size()); ++id) {
+            const Entry& e = entries_[static_cast<std::size_t>(id)];
+            if (!e.alive || id == keepId) continue;
+            if (oldest < 0 ||
+                e.touch < entries_[static_cast<std::size_t>(oldest)].touch)
+                oldest = id;
+        }
+        if (oldest < 0) return;  // only the just-admitted entry is left
+        evict(oldest, &capacityEvicted_);
+    }
+}
+
+}  // namespace ug

@@ -1,0 +1,111 @@
+// LoadCoordinator-side global cut pool (cross-solver cut sharing).
+//
+// Solvers piggyback their newly admitted dominance-pool supports on
+// Status/Terminated/RacingFinished messages; the LoadCoordinator merges them
+// here under the same antichain invariant the per-solver steiner::CutPool
+// keeps (duplicate rejection, subset-dominance rejection, retroactive
+// superset eviction), then attaches a relevance-filtered bundle to every
+// Subproblem / RacingSubproblem assignment so a receiving solver starts from
+// the fleet's accumulated root cuts instead of an empty pool.
+//
+// Per-entry "already knows" rank bitsets prevent echoing a cut back to the
+// solver that reported it (or re-sending one already shipped); a touch clock
+// (bumped on admission, duplicate re-report, and send) drives oldest-first
+// eviction once the pool exceeds capacity. All state lives in plain vectors
+// and every operation iterates in deterministic order, so SimEngine runs are
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cip/node.hpp"
+#include "ug/cutbundle.hpp"
+
+namespace ug {
+
+class GlobalCutPool {
+public:
+    /// `numRanks` is the highest solver rank + 1 (ranks are 1-based, rank 0
+    /// is the coordinator); `capacity` bounds the number of live supports.
+    GlobalCutPool(int numRanks, int capacity);
+
+    struct MergeStats {
+        int reported = 0;  ///< supports decoded from the bundle
+        int pooled = 0;    ///< newly admitted (survived the dominance filter)
+    };
+
+    /// Merges a solver-reported bundle. The origin rank is marked as knowing
+    /// every support it reported (admitted or duplicate), so the pool never
+    /// echoes a cut back to its source. A corrupt bundle is dropped whole.
+    MergeStats merge(const CutBundle& bundle, int origin);
+
+    /// Builds the priming bundle for an assignment to `receiver`: up to
+    /// `maxCuts` live supports the receiver does not already know, skipping
+    /// supports made trivially satisfied by the subproblem (any support var
+    /// fixed to 1 — the row cannot separate anything there). Newest-touched
+    /// supports go first; everything sent is marked known to the receiver
+    /// and touch-refreshed (a cut in active circulation should not age out).
+    CutBundle bundleFor(int receiver, const cip::SubproblemDesc& desc,
+                        int maxCuts);
+
+    int size() const { return liveCount_; }
+
+    /// All live supports in deterministic (id) order — test/oracle hook.
+    std::vector<CutSupport> snapshot() const;
+
+    // Cumulative counters (coordinator-side telemetry).
+    std::int64_t pooled() const { return pooled_; }
+    std::int64_t sent() const { return sent_; }
+    std::int64_t dupRejected() const { return dupRejected_; }
+    std::int64_t dominatedRejected() const { return dominatedRejected_; }
+    std::int64_t dominatedEvicted() const { return dominatedEvicted_; }
+    std::int64_t capacityEvicted() const { return capacityEvicted_; }
+
+private:
+    struct Entry {
+        std::vector<int> vars;  ///< sorted unique support var ids
+        int rhsClass = 1;
+        std::uint64_t touch = 0;            ///< last-use stamp (monotone)
+        std::vector<std::uint64_t> known;   ///< rank bitset: already has it
+        bool alive = false;
+    };
+
+    bool knows(const Entry& e, int rank) const {
+        return (e.known[static_cast<std::size_t>(rank) >> 6] >>
+                (static_cast<unsigned>(rank) & 63u)) & 1u;
+    }
+    void markKnown(Entry& e, int rank) {
+        e.known[static_cast<std::size_t>(rank) >> 6] |=
+            std::uint64_t{1} << (static_cast<unsigned>(rank) & 63u);
+    }
+
+    /// Offers one decoded support; returns true iff admitted.
+    bool offer(const CutSupport& cs, int origin);
+    void evict(int id, std::int64_t* counter);
+    void indexEntry(int id);
+    void unindexEntry(int id);
+    void evictOldestOver(int keepId);
+
+    int knownWords_ = 1;
+    int capacity_ = 0;
+    int liveCount_ = 0;
+    std::uint64_t clock_ = 0;
+
+    std::vector<Entry> entries_;
+    std::vector<int> freeIds_;
+    std::vector<std::vector<int>> index_;  ///< var -> live entry ids
+    std::vector<int> touchCount_;          ///< scratch: per-id overlap count
+    std::vector<int> touched_;             ///< scratch: ids with count > 0
+    std::vector<char> fixedOne_;           ///< scratch: var fixed to 1 in desc
+    std::vector<int> order_;               ///< scratch: candidate ordering
+
+    std::int64_t pooled_ = 0;
+    std::int64_t sent_ = 0;
+    std::int64_t dupRejected_ = 0;
+    std::int64_t dominatedRejected_ = 0;
+    std::int64_t dominatedEvicted_ = 0;
+    std::int64_t capacityEvicted_ = 0;
+};
+
+}  // namespace ug

@@ -10,8 +10,27 @@
 namespace ug {
 
 LoadCoordinator::LoadCoordinator(ParaComm& comm, const UgConfig& cfg)
-    : comm_(comm), cfg_(cfg), cutoff_(cip::kInf) {
+    : comm_(comm),
+      cfg_(cfg),
+      cutPool_(cfg.numSolvers + 1,
+               cfg.baseParams.getInt("stp/share/maxpool", 512)),
+      shareCuts_(cfg.baseParams.getBool("stp/share/enable", true)),
+      shareMaxCuts_(cfg.baseParams.getInt("stp/share/maxcutsup", 32)),
+      cutoff_(cip::kInf) {
     info_.resize(cfg_.numSolvers + 1);
+}
+
+void LoadCoordinator::mergeSharedCuts(const Message& m) {
+    if (!shareCuts_ || m.cuts.empty()) return;
+    const GlobalCutPool::MergeStats ms = cutPool_.merge(m.cuts, m.src);
+    stats_.shareCutsReported += ms.reported;
+    stats_.shareCutsPooled += ms.pooled;
+}
+
+void LoadCoordinator::attachSharedCuts(Message& m, int receiver) {
+    if (!shareCuts_) return;
+    m.cuts = cutPool_.bundleFor(receiver, m.desc, shareMaxCuts_);
+    stats_.shareCutsSent += m.cuts.count();
 }
 
 int LoadCoordinator::activeCount() const {
@@ -53,6 +72,9 @@ void LoadCoordinator::foldLpEffort(const LpEffort& e) {
     stats_.cutPoolDupRejected += e.poolDupRejected;
     stats_.cutPoolDominatedRejected += e.poolDominatedRejected;
     stats_.cutPoolDominatedEvicted += e.poolDominatedEvicted;
+    stats_.shareCutsReceived += e.sharedReceived;
+    stats_.shareCutsAdmitted += e.sharedAdmitted;
+    stats_.shareCutsInvalid += e.sharedInvalid;
     stats_.maxCutPoolSize = std::max(stats_.maxCutPoolSize,
                                      static_cast<long long>(e.poolSize));
 }
@@ -99,6 +121,7 @@ void LoadCoordinator::start(const cip::SubproblemDesc& root) {
             m.params = cfg_.racingSettings[idx];
             m.settingId = idx;
             if (best_.valid()) m.sol = best_;
+            attachSharedCuts(m, r);  // non-empty only on restarted pools
             info_[r].active = true;
             info_[r].settingId = idx;
             info_[r].assigned = root;
@@ -137,6 +160,7 @@ void LoadCoordinator::assignNodes() {
         m.tag = Tag::Subproblem;
         m.desc = desc;
         if (best_.valid()) m.sol = best_;
+        attachSharedCuts(m, idleRank);
         info_[idleRank].active = true;
         info_[idleRank].dualBound = desc.lowerBound;
         info_[idleRank].openNodes = 0;
@@ -320,6 +344,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.nodesProcessed = m.nodesProcessed;
             si.busyUnits = m.busyCost;
             si.lpEffort = m.lpEffort;
+            mergeSharedCuts(m);
             // The pool-size gauge peaks mid-subproblem, so track it from
             // Status reports too (foldLpEffort only sees terminal reports).
             stats_.maxCutPoolSize =
@@ -337,6 +362,13 @@ void LoadCoordinator::handleMessage(const Message& m) {
             // part of the search space. (Dead ranks were filtered above —
             // their coverage travels via the requeued root instead.)
             ++stats_.collectedNodes;
+            // The sender's frontier just shrank by one, but its next Status
+            // may be many steps away: account the ship here so
+            // frontierWeight reflects the post-ship frontier. Without this,
+            // collect-mode supplier targeting keeps re-selecting a solver it
+            // has already drained (its stale pre-ship openNodes looks heavy)
+            // while genuinely heavy frontiers sit unasked.
+            if (si.active && si.openNodes > 0) --si.openNodes;
             if (!(cutoff_ < cip::kInf &&
                   m.desc.lowerBound >= cutoff_ - 1e-9))
                 pool_.push_back(m.desc);
@@ -357,6 +389,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             }
             // A racer solved the instance outright during the racing stage.
             adoptSolution(m.sol);
+            mergeSharedCuts(m);
             instanceSolvedInRacing_ = true;
             si.active = false;
             si.assigned.reset();
@@ -395,6 +428,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             foldLpEffort(m.lpEffort);
             si.lpEffort = {};
             adoptSolution(m.sol);
+            mergeSharedCuts(m);
             if (m.completed) {
                 si.assigned.reset();
                 if (m.dualBound > -cip::kInf)

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ug/config.hpp"
+#include "ug/globalcutpool.hpp"
 #include "ug/paracomm.hpp"
 
 namespace ug {
@@ -86,6 +87,11 @@ private:
     /// Failure detector: declare silent-but-active ranks dead, requeue their
     /// assigned roots, and exclude them from all future scheduling.
     void checkHeartbeats(double now);
+    /// Merge a worker-reported cut bundle into the global pool (no-op when
+    /// sharing is disabled or the bundle is empty).
+    void mergeSharedCuts(const Message& m);
+    /// Attach the relevance-filtered priming bundle to an assignment.
+    void attachSharedCuts(Message& m, int receiver);
     void checkDone();
     void terminateAll();
     void saveCheckpoint() const;
@@ -98,6 +104,9 @@ private:
     UgConfig cfg_;
 
     std::vector<cip::SubproblemDesc> pool_;
+    GlobalCutPool cutPool_;  ///< cross-solver shared cut supports
+    bool shareCuts_ = true;  ///< stp/share/enable (from cfg.baseParams)
+    int shareMaxCuts_ = 32;  ///< stp/share/maxcutsup: per-message batch bound
     std::vector<SolverInfo> info_;  ///< index 1..numSolvers (0 unused)
     cip::Solution best_;
     double cutoff_;  ///< objective of best_, or +inf

@@ -10,6 +10,7 @@
 #include "cip/model.hpp"
 #include "cip/node.hpp"
 #include "cip/params.hpp"
+#include "ug/cutbundle.hpp"
 
 namespace ug {
 
@@ -65,6 +66,12 @@ struct LpEffort {
     std::int64_t poolDominatedRejected = 0;  ///< weaker incoming cuts rejected
     std::int64_t poolDominatedEvicted = 0;   ///< pooled cuts evicted by subsets
     std::int64_t poolSize = 0;               ///< current dominance-pool size
+
+    // Cross-solver cut sharing, receiver side: supports delivered with
+    // assignments, and their fate at local certification.
+    std::int64_t sharedReceived = 0;  ///< shared supports delivered to solver
+    std::int64_t sharedAdmitted = 0;  ///< certified + violated, entered the LP
+    std::int64_t sharedInvalid = 0;   ///< failed certification, dropped
 };
 
 /// One message. Fields are used depending on the tag; unused fields stay at
@@ -90,6 +97,13 @@ struct Message {
                                      ///< the supplier must keep for itself
                                      ///< (0: may ship its last open node)
     cip::ParamSet params;            ///< RacingSubproblem settings
+    CutBundle cuts;                  ///< piggybacked shared-cut supports:
+                                     ///< worker->LC on Status / Terminated /
+                                     ///< RacingFinished (newly admitted pool
+                                     ///< cuts, bounded by stp/share/maxcutsup);
+                                     ///< LC->worker on Subproblem /
+                                     ///< RacingSubproblem (relevance-filtered
+                                     ///< priming bundle from the global pool)
     std::string text;                ///< diagnostics
 };
 

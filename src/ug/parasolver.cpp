@@ -34,7 +34,12 @@ const char* toString(UgStatus s) {
 
 ParaSolver::ParaSolver(int rank, ParaComm& comm, BaseSolverFactory& factory,
                        const UgConfig& cfg)
-    : rank_(rank), comm_(comm), factory_(factory), cfg_(cfg) {}
+    : rank_(rank),
+      comm_(comm),
+      factory_(factory),
+      cfg_(cfg),
+      shareCuts_(cfg.baseParams.getBool("stp/share/enable", true)),
+      shareMaxCuts_(cfg.baseParams.getInt("stp/share/maxcutsup", 32)) {}
 
 bool ParaSolver::hasWork() const {
     return active_ && solver_ && !solver_->finished() && !terminated_;
@@ -69,6 +74,10 @@ void ParaSolver::startSubproblem(const Message& m, bool racing) {
         }
     });
     solver_->load(m.desc, bestKnown_.valid() ? &bestKnown_ : nullptr);
+    // Shared-cut priming: offer the coordinator's bundle before the first
+    // step. The base solver certifies + violation-checks each support against
+    // its own relaxation before any of them can become an LP row.
+    if (shareCuts_ && !m.cuts.empty()) solver_->primeSharedCuts(m.cuts);
     active_ = true;
     // Layered presolving may already settle the subproblem (infeasibility or
     // trivial optimality); report immediately, or the coordinator would wait
@@ -87,6 +96,8 @@ void ParaSolver::finishSubproblem(BaseStatus status) {
     out.nodesProcessed = solver_ ? solver_->nodesProcessed() : 0;
     out.busyCost = busyUnits_;
     if (solver_) out.lpEffort = solver_->lpEffort();
+    if (solver_ && shareCuts_)
+        out.cuts = solver_->takeShareableCuts(shareMaxCuts_);
     out.settingId = settingId_;
     out.completed =
         status == BaseStatus::Optimal || status == BaseStatus::Infeasible;
@@ -116,6 +127,7 @@ void ParaSolver::sendStatus() {
     out.nodesProcessed = solver_->nodesProcessed();
     out.busyCost = busyUnits_;
     out.lpEffort = solver_->lpEffort();
+    if (shareCuts_) out.cuts = solver_->takeShareableCuts(shareMaxCuts_);
     out.settingId = settingId_;
     comm_.send(rank_, 0, out);
 }

@@ -61,6 +61,8 @@ private:
     int collectKeep_ = 1;  ///< min open nodes kept while collecting (from
                            ///< StartCollecting; 0 = may ship the last node)
     int settingId_ = -1;
+    bool shareCuts_ = true;  ///< stp/share/enable (from cfg.baseParams)
+    int shareMaxCuts_ = 32;  ///< stp/share/maxcutsup: per-message batch bound
     int stepsSinceStatus_ = 0;
     std::int64_t busyUnits_ = 0;
     cip::Solution bestKnown_;  ///< latest incumbent seen (local or pushed)

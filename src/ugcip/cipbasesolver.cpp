@@ -4,7 +4,8 @@ namespace ugcip {
 
 CipBaseSolver::CipBaseSolver(std::function<cip::Model()> modelSupplier,
                              CipUserPlugins* plugins,
-                             const cip::ParamSet& params) {
+                             const cip::ParamSet& params)
+    : plugins_(plugins) {
     solver_.setModel(modelSupplier());
     solver_.params().merge(params);
     if (plugins) plugins->installPlugins(solver_);
@@ -55,7 +56,19 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.poolDominatedRejected = s.cutDominatedRejected;
     e.poolDominatedEvicted = s.cutDominatedEvicted;
     e.poolSize = s.cutPoolSize;
+    e.sharedReceived = s.sharedCutsReceived;
+    e.sharedAdmitted = s.sharedCutsAdmitted;
+    e.sharedInvalid = s.sharedCutsInvalid;
     return e;
+}
+
+ug::CutBundle CipBaseSolver::takeShareableCuts(int maxCuts) {
+    if (!plugins_) return {};
+    return plugins_->collectShareableCuts(solver_, maxCuts);
+}
+
+void CipBaseSolver::primeSharedCuts(const ug::CutBundle& cuts) {
+    if (plugins_) plugins_->primeSharedCuts(solver_, cuts);
 }
 
 const cip::Solution& CipBaseSolver::incumbent() const {

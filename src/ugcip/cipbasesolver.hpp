@@ -32,11 +32,14 @@ public:
     std::optional<cip::SubproblemDesc> extractOpenNode() override;
     void setIncumbentCallback(
         std::function<void(const cip::Solution&)> cb) override;
+    ug::CutBundle takeShareableCuts(int maxCuts) override;
+    void primeSharedCuts(const ug::CutBundle& cuts) override;
 
     cip::Solver& solver() { return solver_; }
 
 private:
     cip::Solver solver_;
+    CipUserPlugins* plugins_;  ///< sharing hooks delegate here (may be null)
 };
 
 class CipSolverFactory : public ug::BaseSolverFactory {

@@ -27,6 +27,24 @@ void SteinerUserPlugins::installPlugins(cip::Solver& solver) {
     if (integral) solver.params().setBool("misc/objintegral", true);
 }
 
+ug::CutBundle SteinerUserPlugins::collectShareableCuts(cip::Solver& solver,
+                                                       int maxCuts) {
+    if (!solver.params().getBool("stp/share/enable", true)) return {};
+    auto* ch = dynamic_cast<steiner::StpConshdlr*>(
+        solver.findConstraintHandler(steiner::kStpPluginName));
+    if (!ch) return {};
+    return ch->takeShareableCuts(maxCuts);
+}
+
+void SteinerUserPlugins::primeSharedCuts(cip::Solver& solver,
+                                         const ug::CutBundle& cuts) {
+    if (cuts.empty()) return;
+    if (!solver.params().getBool("stp/share/enable", true)) return;
+    auto* ch = dynamic_cast<steiner::StpConshdlr*>(
+        solver.findConstraintHandler(steiner::kStpPluginName));
+    if (ch) ch->primeSharedCuts(solver, cuts);
+}
+
 std::vector<cip::ParamSet> SteinerUserPlugins::racingSettings(int count) {
     // Customized racing for the STP: vary node selection, vertex- vs
     // arc-branching, layered-presolve aggressiveness and the permutation

@@ -16,6 +16,10 @@ public:
         : inst_(inst) {}
     void installPlugins(cip::Solver& solver) override;
     std::vector<cip::ParamSet> racingSettings(int count) override;
+    ug::CutBundle collectShareableCuts(cip::Solver& solver,
+                                       int maxCuts) override;
+    void primeSharedCuts(cip::Solver& solver,
+                         const ug::CutBundle& cuts) override;
 
 private:
     const steiner::SapInstance& inst_;

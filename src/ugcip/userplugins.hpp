@@ -11,6 +11,7 @@
 #pragma once
 
 #include "cip/solver.hpp"
+#include "ug/cutbundle.hpp"
 
 namespace ugcip {
 
@@ -26,6 +27,24 @@ public:
     virtual std::vector<cip::ParamSet> racingSettings(int count) {
         (void)count;
         return {};
+    }
+
+    /// Cross-solver cut sharing hooks (optional). collectShareableCuts
+    /// drains up to `maxCuts` newly admitted globally valid cut supports
+    /// from `solver` for piggybacking on Status/Terminated messages;
+    /// primeSharedCuts offers a coordinator bundle to the solver's plugins,
+    /// which must certify each support before it may become an LP row.
+    /// Applications without a shareable cut family keep the no-ops.
+    virtual ug::CutBundle collectShareableCuts(cip::Solver& solver,
+                                               int maxCuts) {
+        (void)solver;
+        (void)maxCuts;
+        return {};
+    }
+    virtual void primeSharedCuts(cip::Solver& solver,
+                                 const ug::CutBundle& cuts) {
+        (void)solver;
+        (void)cuts;
     }
 };
 
