@@ -89,3 +89,20 @@ add_test(NAME bench-smoke-cutshare
                  --benchmark_out_format=json)
 set_tests_properties(bench-smoke-cutshare PROPERTIES
                      LABELS "bench-smoke;bench-smoke-cutshare")
+
+# Reduced-cost-fixing smoke: archives the on/off comparison of the generic
+# LP reduced-cost fixing + incremental reduction engine (B&B nodes, summed
+# LP iterations, optimum, fixing counters) in BENCH_redfix.json. The
+# sequential solver is deterministic, so the counters are exact.
+add_test(NAME bench-smoke-redfix
+         COMMAND micro_kernels
+                 --benchmark_filter=BM_RedcostFix.*
+                 --benchmark_out=${CMAKE_BINARY_DIR}/BENCH_redfix.json
+                 --benchmark_out_format=json)
+# RUN_SERIAL: two full dim-5 branch-and-cut runs are heavy enough to skew
+# the timing-gated bench-lp-regression guard when scheduled concurrently;
+# the counters this bench archives are deterministic, so serializing costs
+# nothing but scheduling.
+set_tests_properties(bench-smoke-redfix PROPERTIES
+                     LABELS "bench-smoke;bench-smoke-redfix"
+                     RUN_SERIAL TRUE)

@@ -15,24 +15,30 @@ geomean drift past 15% across all three sizes has so far always been a real
 regression.
 
 Usage: check_lp_regression.py <fresh.json> <baseline.json> [max_slowdown]
+                              [family_prefix]
 Exit 0 on pass, 1 on regression or malformed input.
+
+`family_prefix` selects which benchmark family gates (default
+BM_SimplexWarm/), so the same guard can watch any archived bench family —
+e.g. `check_lp_regression.py BENCH_redfix.json baseline.json 0.15
+BM_RedcostFix/`.
 """
 
 import json
 import math
 import sys
 
-FAMILY = "BM_SimplexWarm/"
+DEFAULT_FAMILY = "BM_SimplexWarm/"
 
 
-def warm_times(path):
+def warm_times(path, family):
     with open(path) as f:
         data = json.load(f)
     times = {}
     for b in data.get("benchmarks", []):
         name = b.get("name", "")
         # Exact family only: BM_SimplexWarmPfi/... etc. must not match.
-        if not name.startswith(FAMILY):
+        if not name.startswith(family):
             continue
         if b.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
@@ -44,13 +50,14 @@ def main(argv):
     if len(argv) < 3:
         print(__doc__)
         return 1
-    fresh = warm_times(argv[1])
-    base = warm_times(argv[2])
     max_slowdown = float(argv[3]) if len(argv) > 3 else 0.15
+    family = argv[4] if len(argv) > 4 else DEFAULT_FAMILY
+    fresh = warm_times(argv[1], family)
+    base = warm_times(argv[2], family)
 
     common = sorted(set(fresh) & set(base))
     if not common:
-        print(f"check_lp_regression: no common {FAMILY} entries "
+        print(f"check_lp_regression: no common {family} entries "
               f"between {argv[1]} and {argv[2]}")
         return 1
 

@@ -460,6 +460,64 @@ BENCHMARK(BM_CutShareRampup)
     ->Args({5, 1})
     ->Iterations(1);
 
+/// Generic LP reduced-cost fixing + incremental reduction engine vs the
+/// seed per-node behavior: a full sequential branch-and-cut run on a raw
+/// (unreduced) hypercube SAP model with the new machinery on (arg 2 = 1,
+/// the defaults) or off (arg 2 = 0: reduced-cost fixing disabled, legacy
+/// rebuild-everything propagation, post-fixing LP re-solve restored).
+/// Headline counters are the B&B node count and summed LP iterations — the
+/// quantities the fixing exists to shrink — next to the optimum (must be
+/// identical in both modes) and the fixing/engine counters. The sequential
+/// solver has no timing-dependent paths, so every counter is exact and
+/// reproducible.
+void BM_RedcostFix(benchmark::State& state) {
+    const int dim = static_cast<int>(state.range(0));
+    const unsigned seed = static_cast<unsigned>(state.range(1));
+    const bool fixOn = state.range(2) != 0;
+    const steiner::Graph g = steiner::genHypercube(dim, true, seed);
+    cip::Stats st;
+    double optimum = 0.0;
+    for (auto _ : state) {
+        steiner::Graph copy = g;
+        steiner::ReductionStats none;
+        steiner::SapInstance inst =
+            steiner::buildSapInstance(std::move(copy), none);
+        cip::Solver solver;
+        solver.setModel(inst.model);
+        if (!fixOn) {
+            solver.params().setBool("propagating/redcostfix", false);
+            solver.params().setBool("propagating/redcostresolve", true);
+            solver.params().setBool("stp/redprop/incremental", false);
+            solver.params().setBool("stp/redprop/lpfix", false);
+        }
+        steiner::installStpPlugins(solver, inst);
+        solver.solve();
+        st = solver.stats();
+        optimum = solver.incumbent().obj + inst.model.objOffset;
+        benchmark::DoNotOptimize(optimum);
+    }
+    state.counters["nodes"] = static_cast<double>(st.nodesProcessed);
+    state.counters["lp_iterations"] = static_cast<double>(st.lpIterations);
+    state.counters["optimum"] = optimum;
+    state.counters["redcost_calls"] = static_cast<double>(st.redcostCalls);
+    state.counters["redcost_fixed"] =
+        static_cast<double>(st.redcostFixings + st.redcostTightenings);
+    state.counters["redprop_arcs_fixed"] =
+        static_cast<double>(st.redpropArcsFixed);
+    state.counters["redprop_lb_skips"] =
+        static_cast<double>(st.redpropLbSkips);
+    state.counters["da_warm_starts"] =
+        static_cast<double>(st.redpropDaWarmStarts);
+}
+BENCHMARK(BM_RedcostFix)
+    ->Args({4, 1, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 3, 0})
+    ->Args({4, 3, 1})
+    ->Args({5, 1, 0})
+    ->Args({5, 1, 1})
+    ->Iterations(1);
+
 void BM_SymmetricEigen(benchmark::State& state) {
     const int n = static_cast<int>(state.range(0));
     std::mt19937 rng(5);

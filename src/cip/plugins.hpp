@@ -51,6 +51,19 @@ class Propagator : public Plugin {
 public:
     using Plugin::Plugin;
     virtual ReduceResult propagate(Solver& solver) = 0;
+
+    /// LP-aware propagation, called inside the relaxation loop after every
+    /// Optimal LP solve once the built-in reduced-cost fixing has run: fresh
+    /// duals/reduced costs are available via solver.lpRedcosts() and the
+    /// incumbent cutoff is finite. Contract: implementations may only apply
+    /// reductions that keep the *current LP optimum* feasible (reduced-cost
+    /// style fixings of nonbasic variables) — this is what lets the solver
+    /// skip the LP re-solve after a Reduced result. Reductions that could
+    /// cut off the LP point belong in propagate().
+    virtual ReduceResult propagateLp(Solver& solver) {
+        (void)solver;
+        return ReduceResult::Unchanged;
+    }
 };
 
 /// Cutting-plane separator: inspect the relaxation solution, add rows.

@@ -476,6 +476,7 @@ const std::vector<double>& Solver::lpDuals() const { return lp_.duals(); }
 const std::vector<double>& Solver::lpRedcosts() const {
     return lp_.reducedCosts();
 }
+const std::vector<double>& Solver::lpPrimal() const { return lp_.primal(); }
 
 // ---------------------------------------------------------------------------
 // Bounds / propagation
@@ -547,8 +548,22 @@ ReduceResult Solver::linearPropagation() {
 ReduceResult Solver::reducedCostFixing() {
     // Requires a solved LP and a finite cutoff.
     if (cutoff_ >= kInf || !lpSolutionValid_) return ReduceResult::Unchanged;
+    if (!params_.getBool("propagating/redcostfix", true))
+        return ReduceResult::Unchanged;
+    // Frequency gate: run at nodes with depth % freq == 0 (freq<=0: root
+    // only), matching the convention of the other frequency parameters.
+    const int freq = params_.getInt("propagating/redcostfreq", 1);
+    const int depth = processing_ ? processing_->depth : 0;
+    if (freq <= 0 ? depth != 0 : depth % freq != 0)
+        return ReduceResult::Unchanged;
     const double gapAbs = cutoff_ - cutoffSlack() - lpObj_;
     if (gapAbs <= 0) return ReduceResult::Unchanged;
+    ++stats_.redcostCalls;
+    // Cutoff-derived tightenings stay valid in the whole subtree (the
+    // incumbent only improves below this node), so children may inherit
+    // them through the subproblem description instead of rediscovering
+    // them from scratch at every descendant.
+    const bool inherit = params_.getBool("propagating/redcostinherit", true);
     bool reduced = false;
     const auto& rc = lp_.reducedCosts();
     const auto& x = lp_.primal();
@@ -557,16 +572,23 @@ ReduceResult Solver::reducedCostFixing() {
         if (curUb_[j] - curLb_[j] < kBoundTol) continue;
         // Nonbasic at lower with positive reduced cost: raising x_j by t
         // costs rc[j] * t; fix ub if even max useful move exceeds the gap.
+        // Note the tightened bound always stays on the far side of the
+        // current LP value (maxMove >= 0 from the nonbasic bound), so these
+        // reductions never exclude the LP optimum.
+        ReduceResult r = ReduceResult::Unchanged;
         if (rc[j] > 1e-9 && x[j] <= curLb_[j] + kIntTol) {
             const double maxMove = gapAbs / rc[j];
-            ReduceResult r = tightenUb(j, curLb_[j] + maxMove);
-            if (r == ReduceResult::Infeasible) return r;
-            reduced |= (r == ReduceResult::Reduced);
+            r = tightenUb(j, curLb_[j] + maxMove);
         } else if (rc[j] < -1e-9 && x[j] >= curUb_[j] - kIntTol) {
             const double maxMove = gapAbs / (-rc[j]);
-            ReduceResult r = tightenLb(j, curUb_[j] - maxMove);
-            if (r == ReduceResult::Infeasible) return r;
-            reduced |= (r == ReduceResult::Reduced);
+            r = tightenLb(j, curUb_[j] - maxMove);
+        }
+        if (r == ReduceResult::Infeasible) return r;
+        if (r == ReduceResult::Reduced) {
+            reduced = true;
+            ++stats_.redcostTightenings;
+            if (curUb_[j] - curLb_[j] < kBoundTol) ++stats_.redcostFixings;
+            if (inherit) recordInheritedBound(j);
         }
     }
     return reduced ? ReduceResult::Reduced : ReduceResult::Unchanged;
@@ -1159,14 +1181,37 @@ std::int64_t Solver::step() {
             }
             relaxSol = lp_.primal();
 
-            // Reduced-cost fixing; re-solve if it tightened anything
-            // (bounds only ever tighten, so this loop terminates).
+            // Reduced-cost fixing. Every bound it tightens stops at or
+            // beyond the variable's current (nonbasic) LP value, so the LP
+            // optimum stays feasible and no re-solve is needed — the new
+            // bounds reach the LP with the next syncLpBounds(). The
+            // "propagating/redcostresolve" escape hatch restores the old
+            // resolve-after-fixing behavior bit-for-bit.
             const ReduceResult rcf = reducedCostFixing();
             if (rcf == ReduceResult::Infeasible) {
                 pruned = true;
                 break;
             }
-            if (rcf == ReduceResult::Reduced) continue;
+            if (rcf == ReduceResult::Reduced &&
+                params_.getBool("propagating/redcostresolve", false))
+                continue;
+
+            // LP-aware plugin propagation (same contract: reductions must
+            // keep the current LP optimum feasible, see Propagator docs).
+            if (cutoff_ < kInf && lpDualsFresh_) {
+                bool lpPropInfeas = false;
+                for (auto& p : propagators_) {
+                    const ReduceResult r = p->propagateLp(*this);
+                    if (r == ReduceResult::Infeasible) {
+                        lpPropInfeas = true;
+                        break;
+                    }
+                }
+                if (lpPropInfeas) {
+                    pruned = true;
+                    break;
+                }
+            }
 
             if (round >= maxSepaRounds) break;
             // Separation: plugins first, then constraint handlers.

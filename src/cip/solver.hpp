@@ -93,6 +93,20 @@ struct Stats {
     std::int64_t sharedCutsReceived = 0;  ///< shared supports queued
     std::int64_t sharedCutsAdmitted = 0;  ///< certified + violated, in the LP
     std::int64_t sharedCutsInvalid = 0;   ///< failed certification, dropped
+
+    // Built-in reduced-cost fixing ("propagating/redcostfix"), run after
+    // every Optimal LP solve with a finite incumbent.
+    std::int64_t redcostCalls = 0;        ///< passes with fresh duals + cutoff
+    std::int64_t redcostTightenings = 0;  ///< bounds tightened by the pass
+    std::int64_t redcostFixings = 0;      ///< domains closed to a point
+
+    // Graph-reduction propagation counters, reported by reduction plugins
+    // via Solver::recordReductionStats (e.g. the Steiner ReduceEngine).
+    std::int64_t redpropRuns = 0;          ///< reduction passes executed
+    std::int64_t redpropArcsFixed = 0;     ///< variables fixed by reductions
+    std::int64_t redpropDaWarmStarts = 0;  ///< dual ascents warm-started
+    std::int64_t redpropLbSkips = 0;       ///< cached-bound reuses, no recompute
+    std::int64_t redpropDaCutsFed = 0;     ///< dual-ascent cuts fed to sepa
 };
 
 class Solver {
@@ -228,6 +242,29 @@ public:
         stats_.sharedCutsAdmitted += admitted;
         stats_.sharedCutsInvalid += invalid;
     }
+    /// Accumulate graph-reduction propagation counters (deltas since the
+    /// plugin's previous report).
+    void recordReductionStats(std::int64_t runs, std::int64_t arcsFixed,
+                              std::int64_t daWarmStarts, std::int64_t lbSkips,
+                              std::int64_t daCutsFed) {
+        stats_.redpropRuns += runs;
+        stats_.redpropArcsFixed += arcsFixed;
+        stats_.redpropDaWarmStarts += daWarmStarts;
+        stats_.redpropLbSkips += lbSkips;
+        stats_.redpropDaCutsFed += daCutsFed;
+    }
+    /// Record the variable's *current* local bounds into the node's
+    /// subproblem description so children inherit them. Only sound for
+    /// reductions valid in the entire subtree — e.g. cutoff-derived fixings
+    /// (reduced-cost or bound-based): any solution they exclude is worse
+    /// than the incumbent, and the cutoff only tightens below this node.
+    /// Optimality-preserving-only reductions (alternative-path tests) must
+    /// NOT be recorded: a later branching may remove the witness path.
+    void recordInheritedBound(int var) {
+        if (!processing_) return;
+        processing_->desc.boundChanges.push_back(
+            {var, curLb_[var], curUb_[var]});
+    }
     const Node* currentNode() const { return processing_.get(); }
     std::mt19937_64& rng() { return rng_; }
 
@@ -244,6 +281,12 @@ public:
     double lpObjective() const { return lpObj_; }
     const std::vector<double>& lpDuals() const;
     const std::vector<double>& lpRedcosts() const;
+    const std::vector<double>& lpPrimal() const;
+    /// The effective pruning bound: a node (or a forced variable assignment)
+    /// whose lower bound reaches this value cannot lead to an improving
+    /// solution. Includes the integral-objective strengthening. +inf while
+    /// no incumbent exists.
+    double pruningCutoff() const { return cutoff_ - cutoffSlack(); }
     bool inPresolve() const { return phase_ == Phase::Presolving; }
 
 private:

@@ -17,6 +17,10 @@ inline int arcHead(const Graph& g, int a) {
     return (a % 2 == 0) ? e.v : e.u;
 }
 
+/// The ascent loop proper; `res.redCost` / `res.lowerBound` / `res.root`
+/// must be initialized (cold: raw edge costs, warm: a previous result).
+void runAscent(const Graph& g, int maxCuts, DualAscentResult& res);
+
 }  // namespace
 
 DualAscentResult dualAscent(const Graph& g, int root, int maxCuts) {
@@ -30,6 +34,37 @@ DualAscentResult dualAscent(const Graph& g, int root, int maxCuts) {
         res.redCost[2 * e + 1] = g.edge(e).cost;
     }
     if (root < 0) return res;
+    runAscent(g, maxCuts, res);
+    return res;
+}
+
+DualAscentResult dualAscentWarm(const Graph& g,
+                                const std::vector<double>& warmRedCost,
+                                double warmLowerBound, int root, int maxCuts) {
+    DualAscentResult res;
+    if (root < 0) root = g.rootTerminal();
+    res.root = root;
+    res.lowerBound = warmLowerBound;
+    // Start from the caller's dual state; arcs whose edges are deleted in g
+    // (or that the warm state never saw) are unusable.
+    res.redCost.assign(2 * static_cast<std::size_t>(g.numEdges()), kInfCost);
+    const std::size_t known = warmRedCost.size();
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (g.edge(e).deleted) continue;
+        for (int a = 2 * e; a <= 2 * e + 1; ++a)
+            res.redCost[a] = static_cast<std::size_t>(a) < known
+                                 ? warmRedCost[static_cast<std::size_t>(a)]
+                                 : g.edge(e).cost;
+    }
+    if (root < 0) return res;
+    runAscent(g, maxCuts, res);
+    return res;
+}
+
+namespace {
+
+void runAscent(const Graph& g, int maxCuts, DualAscentResult& res) {
+    const int root = res.root;
 
     std::vector<int> terms = g.terminals();
     std::vector<char> reached(g.numVertices(), 0);
@@ -95,7 +130,7 @@ DualAscentResult dualAscent(const Graph& g, int root, int maxCuts) {
             if (entering.empty() || delta >= kInfCost) {
                 res.disconnected = true;
                 res.lowerBound = kInfCost;
-                return res;
+                return;
             }
             for (int a : entering) res.redCost[a] -= delta;
             res.lowerBound += delta;
@@ -105,7 +140,8 @@ DualAscentResult dualAscent(const Graph& g, int root, int maxCuts) {
             progress = true;
         }
     }
-    return res;
 }
+
+}  // namespace
 
 }  // namespace steiner

@@ -27,4 +27,21 @@ struct DualAscentResult {
 /// `maxCuts` bounds the number of recorded cut rows (most recent kept).
 DualAscentResult dualAscent(const Graph& g, int root = -1, int maxCuts = 512);
 
+/// Warm-started dual ascent: continue the ascent from a previous result's
+/// reduced costs and lower bound instead of from the raw edge costs.
+///
+/// Validity invariant (the caller must guarantee it): `warmRedCost` and
+/// `warmLowerBound` must stem from an ascent on a graph whose usable edge
+/// set was a SUPERSET of g's and whose terminal set was a SUBSET of g's,
+/// with the same root. Edge deletions only remove arcs from cuts (every
+/// raised cut stays a valid directed Steiner cut) and extra terminals only
+/// add unsatisfied constraints, so the dual solution stays feasible — this
+/// holds along any root -> node path of the branch-and-bound tree.
+/// Arcs of edges deleted in g are reset to +inf; with warmRedCost equal to
+/// the raw edge costs and warmLowerBound == 0 this is exactly dualAscent().
+DualAscentResult dualAscentWarm(const Graph& g,
+                                const std::vector<double>& warmRedCost,
+                                double warmLowerBound, int root = -1,
+                                int maxCuts = 512);
+
 }  // namespace steiner

@@ -87,6 +87,15 @@ void Graph::deleteEdge(int e) {
     removeFromAdj(edges_[e].v, e);
 }
 
+void Graph::restoreEdge(int e) {
+    Edge& ed = edges_[e];
+    if (!ed.deleted) return;
+    assert(alive_[ed.u] && alive_[ed.v]);
+    ed.deleted = false;
+    adj_[ed.u].push_back(e);
+    adj_[ed.v].push_back(e);
+}
+
 void Graph::deleteVertex(int v) {
     assert(!terminal_[v]);
     assert(degree(v) == 0);

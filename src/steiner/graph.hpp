@@ -60,6 +60,12 @@ public:
     int degree(int v) const;
 
     void deleteEdge(int e);
+    /// Undo deleteEdge: re-attach a deleted edge to its (alive) endpoints.
+    /// Only valid for edges removed by deleteEdge — contraction re-homes
+    /// endpoints, so contracted edges cannot be restored this way. Used by
+    /// the incremental ReduceEngine when the search jumps to a node where a
+    /// previously fixed-out arc is free again.
+    void restoreEdge(int e);
     /// Delete an isolated, non-terminal vertex.
     void deleteVertex(int v);
 

@@ -70,10 +70,25 @@ void StpConshdlr::primeSharedCuts(cip::Solver& solver,
             ++invalid;
             continue;
         }
-        primed_.push_back({std::move(cs.vars), 0});
+        primed_.push_back({std::move(cs.vars), 0, 0});
     }
     solver.recordSharedCutStats(static_cast<std::int64_t>(decoded.size()), 0,
                                 invalid);
+}
+
+void StpConshdlr::primeLocalSupports(std::vector<std::vector<int>> supports) {
+    const int numVars = inst_.model.numVars();
+    for (std::vector<int>& vars : supports) {
+        bool ok = !vars.empty();
+        if (ok)
+            for (int var : vars)
+                if (var < 0 || var >= numVars) {
+                    ok = false;
+                    break;
+                }
+        if (!ok) continue;
+        primed_.push_back({std::move(vars), 0, 1});
+    }
 }
 
 ug::CutBundle StpConshdlr::takeShareableCuts(int maxCuts) {
@@ -128,6 +143,7 @@ int StpConshdlr::activatePrimedCuts(cip::Solver& solver,
     const bool dominance =
         solver.params().getBool("stp/sepa/pooldominance", true);
     int added = 0;
+    std::int64_t sharedAdded = 0;
     std::int64_t invalid = 0;
     std::size_t keep = 0;
     for (std::size_t i = 0; i < primed_.size(); ++i) {
@@ -143,7 +159,11 @@ int StpConshdlr::activatePrimedCuts(cip::Solver& solver,
         }
         if (pc.cert == 0) {
             if (!certifySupport(pc.vars)) {
-                ++invalid;  // stale/corrupt support: dropped, never a row
+                // Stale/corrupt/node-local support: dropped, never a row.
+                // Only shared supports count as invalid — a locally
+                // harvested ascent cut failing the gate is the expected
+                // fate of subtree-specific cuts, not a sharing defect.
+                if (!pc.local) ++invalid;
                 continue;
             }
             pc.cert = 1;
@@ -178,10 +198,11 @@ int StpConshdlr::activatePrimedCuts(cip::Solver& solver,
             poolIdOf_[token] = poolId;
         }
         ++added;
+        if (!pc.local) ++sharedAdded;
     }
     primed_.resize(keep);
-    if (added > 0 || invalid > 0)
-        solver.recordSharedCutStats(0, added, invalid);
+    if (sharedAdded > 0 || invalid > 0)
+        solver.recordSharedCutStats(0, sharedAdded, invalid);
     return added;
 }
 
@@ -547,19 +568,196 @@ cip::ReduceResult StpSubproblemReducer::presolve(cip::Solver& solver) {
     return reduceSubgraphAndFix(solver, inst_, extended);
 }
 
-StpReductionPropagator::StpReductionPropagator(const SapInstance& inst)
-    : Propagator("stp_redprop", 10), inst_(inst) {}
+StpReductionPropagator::StpReductionPropagator(const SapInstance& inst,
+                                               StpConshdlr* conshdlr)
+    : Propagator("stp_redprop", 10),
+      inst_(inst),
+      conshdlr_(conshdlr),
+      engine_(inst) {}
 
 cip::ReduceResult StpReductionPropagator::propagate(cip::Solver& solver) {
     const cip::Node* node = solver.currentNode();
     if (!node || node->id == lastNode_)  // once per node
         return cip::ReduceResult::Unchanged;
-    const int freq = solver.params().getInt("stp/redprop/freq", 4);
-    if (freq <= 0 || node->depth == 0 || node->depth % freq != 0)
-        return cip::ReduceResult::Unchanged;
-    lastNode_ = node->id;
     const bool extended = solver.params().getBool("stp/extended", true);
-    return reduceSubgraphAndFix(solver, inst_, extended);
+    const int freq = solver.params().getInt("stp/redprop/freq", 4);
+    if (!solver.params().getBool("stp/redprop/incremental", true)) {
+        // Legacy path: rebuild the subgraph from scratch at selected depths.
+        if (freq <= 0 || node->depth == 0 || node->depth % freq != 0)
+            return cip::ReduceResult::Unchanged;
+        lastNode_ = node->id;
+        return reduceSubgraphAndFix(solver, inst_, extended);
+    }
+
+    // Incremental path: run at frequency-selected depths (including the
+    // root, which seeds the ascent cache) and whenever the primal bound
+    // improved since the last pass — a better incumbent re-arms the
+    // bound-based test at any depth.
+    const double primal = solver.primalBound();
+    const bool primalImproved = primal < lastPrimal_ - 1e-9;
+    const bool freqDue = freq > 0 && node->depth % freq == 0;
+    if (!freqDue && !primalImproved) return cip::ReduceResult::Unchanged;
+    lastNode_ = node->id;
+    lastPrimal_ = primal;
+
+    VertexBranchState st = parseVertexBranches(inst_, node->desc.customBranches);
+    const double offset = inst_.model.objOffset;
+    const double pruning = solver.pruningCutoff();
+    const double cutoffGraph =
+        pruning < cip::kInf ? pruning - offset : kInfCost;
+    // Submitting the in-pass heuristic solution (when it improves the
+    // incumbent) is what makes the bound-based deletions below inheritable:
+    // afterwards every solution they exclude is worse than the incumbent.
+    const auto sink = [&](const HeuristicSolution& heur) -> double {
+        std::vector<int> pruned = pruneTree(inst_.graph, heur.edges);
+        cip::Solution cand;
+        cand.x = treeToModelSolution(inst_, pruned);
+        solver.submitSolution(std::move(cand));
+        const double pc = solver.pruningCutoff();
+        return pc < cip::kInf ? pc - offset : heur.cost;
+    };
+    ReduceEngine::RunResult res =
+        engine_.run(solver.localUb(), st.flag, cutoffGraph, extended, sink);
+    solver.addCost(res.cost);
+
+    std::int64_t arcsFixed = 0;
+    std::int64_t cutsFed = 0;
+    bool reduced = false;
+    bool infeasible = res.infeasible;
+    if (res.ran && !infeasible) {
+        const bool inherit =
+            solver.params().getBool("propagating/redcostinherit", true);
+        const auto& ub = solver.localUb();
+        const auto fixEdges = [&](const std::vector<int>& edges,
+                                  bool inheritable) {
+            for (int e : edges) {
+                for (int dir = 0; dir < 2; ++dir) {
+                    const int var =
+                        inst_.arcVar[2 * static_cast<std::size_t>(e) + dir];
+                    if (var < 0 || ub[static_cast<std::size_t>(var)] <= 0.5)
+                        continue;
+                    const cip::ReduceResult r = solver.tightenUb(var, 0.0);
+                    if (r == cip::ReduceResult::Infeasible) {
+                        infeasible = true;
+                        return;
+                    }
+                    if (r == cip::ReduceResult::Reduced) {
+                        reduced = true;
+                        ++arcsFixed;
+                        if (inheritable && inherit)
+                            solver.recordInheritedBound(var);
+                    }
+                }
+            }
+        };
+        fixEdges(res.inheritedDeleted, true);
+        if (!infeasible) fixEdges(res.localDeleted, false);
+    }
+    if (conshdlr_) {
+        std::vector<std::vector<int>> cuts = engine_.takePendingCutVars();
+        if (!cuts.empty()) {
+            cutsFed = static_cast<std::int64_t>(cuts.size());
+            conshdlr_->primeLocalSupports(std::move(cuts));
+        }
+    }
+    const ReduceEngineStats& es = engine_.stats();
+    solver.recordReductionStats(es.runs - reported_.runs, arcsFixed,
+                                es.daWarmStarts - reported_.daWarmStarts,
+                                es.lbSkips - reported_.lbSkips, cutsFed);
+    reported_ = es;
+    if (infeasible) return cip::ReduceResult::Infeasible;
+    return reduced ? cip::ReduceResult::Reduced
+                   : cip::ReduceResult::Unchanged;
+}
+
+cip::ReduceResult StpReductionPropagator::propagateLp(cip::Solver& solver) {
+    if (!solver.params().getBool("stp/redprop/incremental", true) ||
+        !solver.params().getBool("stp/redprop/lpfix", true))
+        return cip::ReduceResult::Unchanged;
+    const cip::Node* node = solver.currentNode();
+    if (!node) return cip::ReduceResult::Unchanged;
+    const double cutoff = solver.pruningCutoff();
+    if (cutoff >= cip::kInf) return cip::ReduceResult::Unchanged;
+    const double lpObj = solver.lpObjective();
+    const double gap = cutoff - lpObj;
+    if (gap <= 0) return cip::ReduceResult::Unchanged;  // pruned anyway
+    if (node->id == lastLpNode_ && std::fabs(lpObj - lastLpObj_) <= 1e-12 &&
+        std::fabs(cutoff - lastLpCutoff_) <= 1e-12)
+        return cip::ReduceResult::Unchanged;  // same state, nothing new
+    lastLpNode_ = node->id;
+    lastLpObj_ = lpObj;
+    lastLpCutoff_ = cutoff;
+
+    const auto& rc = solver.lpRedcosts();
+    const auto& x = solver.lpPrimal();
+    const auto& lb = solver.localLb();
+    const auto& ub = solver.localUb();
+    const Graph& g = inst_.graph;
+    VertexBranchState st = parseVertexBranches(inst_, node->desc.customBranches);
+    const bool inherit =
+        solver.params().getBool("propagating/redcostinherit", true);
+    const auto isTerm = [&](int v) {
+        return g.isTerminal(v) || st.flag[static_cast<std::size_t>(v)] == 1;
+    };
+    // Cheapest nonnegative reduced cost of a usable modeled arc leaving
+    // `vertex` without returning to `fromVertex` (kInfCost: none exists).
+    const auto minExtension = [&](int vertex, int fromVertex) -> double {
+        double best = kInfCost;
+        for (int e : g.incident(vertex)) {
+            if (g.edge(e).deleted) continue;
+            const int w = g.edge(e).other(vertex);
+            if (w == fromVertex) continue;
+            const int a = (g.edge(e).u == vertex) ? 2 * e : 2 * e + 1;
+            const int var = inst_.arcVar[static_cast<std::size_t>(a)];
+            if (var < 0 || static_cast<std::size_t>(var) >= rc.size() ||
+                ub[static_cast<std::size_t>(var)] <= 0.5)
+                continue;
+            best = std::min(best, std::max(0.0, rc[static_cast<std::size_t>(var)]));
+            if (best <= 0.0) break;
+        }
+        return best;
+    };
+
+    bool reduced = false;
+    std::int64_t fixed = 0;
+    for (int e = 0; e < g.numEdges(); ++e) {
+        if (g.edge(e).deleted) continue;
+        for (int dir = 0; dir < 2; ++dir) {
+            const int var =
+                inst_.arcVar[2 * static_cast<std::size_t>(e) + dir];
+            if (var < 0 || static_cast<std::size_t>(var) >= rc.size())
+                continue;
+            if (ub[static_cast<std::size_t>(var)] <= 0.5 ||
+                lb[static_cast<std::size_t>(var)] >= 0.5)
+                continue;  // already fixed either way
+            // Only arcs at zero in the LP optimum may be fixed (the
+            // propagateLp contract: the LP point must stay feasible).
+            if (x[static_cast<std::size_t>(var)] > 1e-6) continue;
+            const double r = rc[static_cast<std::size_t>(var)];
+            if (r <= 1e-9) continue;
+            const int head = dir == 0 ? g.edge(e).v : g.edge(e).u;
+            const int tail = dir == 0 ? g.edge(e).u : g.edge(e).v;
+            double needed = r;
+            if (!isTerm(head)) {
+                // Flow balance: an arc into a non-required non-terminal
+                // must be extended by an outgoing arc, whose reduced cost
+                // any improving solution pays on top.
+                const double ext = minExtension(head, tail);
+                needed = ext >= kInfCost ? kInfCost : r + ext;
+            }
+            if (needed > gap + 1e-9) {
+                const cip::ReduceResult rr = solver.tightenUb(var, 0.0);
+                if (rr == cip::ReduceResult::Infeasible) return rr;
+                if (rr == cip::ReduceResult::Reduced) {
+                    reduced = true;
+                    ++fixed;
+                    if (inherit) solver.recordInheritedBound(var);
+                }
+            }
+        }
+    }
+    if (fixed > 0) solver.recordReductionStats(0, fixed, 0, 0, 0);
+    return reduced ? cip::ReduceResult::Reduced : cip::ReduceResult::Unchanged;
 }
 
 cip::ReduceResult reduceSubgraphAndFix(cip::Solver& solver,
@@ -643,11 +841,14 @@ cip::ReduceResult reduceSubgraphAndFix(cip::Solver& solver,
 }
 
 void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
-    solver.addConstraintHandler(std::make_unique<StpConshdlr>(inst));
+    auto conshdlr = std::make_unique<StpConshdlr>(inst);
+    StpConshdlr* conshdlrPtr = conshdlr.get();
+    solver.addConstraintHandler(std::move(conshdlr));
     solver.addBranchrule(std::make_unique<StpVertexBranching>(inst));
     solver.addHeuristic(std::make_unique<StpHeuristic>(inst));
     solver.addPresolver(std::make_unique<StpSubproblemReducer>(inst));
-    solver.addPropagator(std::make_unique<StpReductionPropagator>(inst));
+    solver.addPropagator(
+        std::make_unique<StpReductionPropagator>(inst, conshdlrPtr));
     // The generic LP diving heuristic rounds arc variables into meaningless
     // non-trees; the TM heuristic replaces it.
     solver.params().setBool("heuristics/diving/enabled", false);
@@ -682,6 +883,12 @@ void installStpPlugins(cip::Solver& solver, const SapInstance& inst) {
     // per-solver separation.
     if (!p.has("stp/share/enable")) p.setBool("stp/share/enable", true);
     if (!p.has("stp/share/maxcutsup")) p.setInt("stp/share/maxcutsup", 32);
+    // In-tree reduction propagation: incremental persistent engine with
+    // warm-started dual ascent (off: the legacy rebuild-per-pass loop), and
+    // LP-reduced-cost arc fixing with the flow-balance extension.
+    if (!p.has("stp/redprop/incremental"))
+        p.setBool("stp/redprop/incremental", true);
+    if (!p.has("stp/redprop/lpfix")) p.setBool("stp/redprop/lpfix", true);
 }
 
 }  // namespace steiner

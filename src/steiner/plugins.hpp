@@ -22,6 +22,7 @@
 #include "cip/solver.hpp"
 #include "steiner/cutpool.hpp"
 #include "steiner/cutsep.hpp"
+#include "steiner/reduceengine.hpp"
 #include "steiner/stpmodel.hpp"
 
 namespace steiner {
@@ -68,6 +69,13 @@ public:
     /// Number of received-but-not-yet-activated shared supports (tests).
     std::size_t primedPending() const { return primed_.size(); }
 
+    /// Queue locally generated candidate supports (e.g. dual-ascent cuts
+    /// from the ReduceEngine). They ride the same violation-check +
+    /// certification gate as shared supports but are kept out of the
+    /// cross-solver sharing statistics: their admission/rejection says
+    /// nothing about the coordinator's bundles.
+    void primeLocalSupports(std::vector<std::vector<int>> supports);
+
 private:
     CutSepaConfig sepaConfig(const cip::Solver& solver) const;
     std::vector<std::pair<int, double>> inArcCoefs(int v) const;
@@ -101,12 +109,15 @@ private:
     std::vector<int> evictScratch_;
     std::vector<std::int64_t> retireScratch_;
 
-    // Shared supports waiting for activation. cert: 0 = not yet certified,
-    // 1 = certified valid (certification runs once; invalid supports are
-    // dropped — and counted — the moment certification fails).
+    // Shared/local supports waiting for activation. cert: 0 = not yet
+    // certified, 1 = certified valid (certification runs once; invalid
+    // supports are dropped — and, for shared ones, counted — the moment
+    // certification fails). local: 1 = generated by this solver (ascent
+    // harvest), excluded from shared-cut statistics.
     struct PrimedCut {
         std::vector<int> vars;
         signed char cert = 0;
+        signed char local = 0;
     };
     std::vector<PrimedCut> primed_;
     std::vector<char> arcMask_;  ///< certifySupport scratch: arcs removed
@@ -142,17 +153,47 @@ private:
     bool ran_ = false;
 };
 
-/// In-tree reductions: the same deletion-only reduction loop run as domain
-/// propagation at selected depths ("reduction techniques are extremely
-/// important both in presolving and domain propagation", paper section 3.1).
+/// In-tree reductions ("reduction techniques are extremely important both
+/// in presolving and domain propagation", paper section 3.1), run as domain
+/// propagation at frequency-selected depths and additionally whenever the
+/// primal bound improved since the last pass.
+///
+/// With "stp/redprop/incremental" (default on) the pass runs on a
+/// persistent ReduceEngine: the node subgraph is synced by bound-change
+/// deltas, the dual ascent is warm-started from the cached parent/root
+/// state, unchanged nodes skip the pass entirely, and harvested ascent cuts
+/// are fed to the constraint handler's primed-cut path. Bound-derived
+/// fixings are recorded into the node description so children inherit them.
+/// With the parameter off, the original rebuild-everything
+/// reduceSubgraphAndFix pass runs instead (per-node behavior unchanged).
+///
+/// propagateLp adds LP-reduced-cost arc fixing strengthened by the
+/// flow-balance extension argument: an arc into a non-required non-terminal
+/// must be extended by an outgoing arc, so its exclusion test may add the
+/// cheapest outgoing reduced cost. Only arcs at zero in the current LP
+/// optimum are fixed (the propagateLp contract: the LP point stays
+/// feasible, no re-solve needed).
 class StpReductionPropagator : public cip::Propagator {
 public:
-    explicit StpReductionPropagator(const SapInstance& inst);
+    StpReductionPropagator(const SapInstance& inst, StpConshdlr* conshdlr);
     cip::ReduceResult propagate(cip::Solver& solver) override;
+    cip::ReduceResult propagateLp(cip::Solver& solver) override;
+
+    /// The persistent reduction engine (tests/diagnostics).
+    const ReduceEngine& engine() const { return engine_; }
 
 private:
     const SapInstance& inst_;
+    StpConshdlr* conshdlr_;  ///< sink for harvested ascent cuts (may be null)
+    ReduceEngine engine_;
     std::int64_t lastNode_ = -1;
+    double lastPrimal_ = cip::kInf;  ///< primal bound at the last engine pass
+    ReduceEngineStats reported_;     ///< engine stats already pushed upstream
+    // propagateLp dedup: the last (node, LP objective, cutoff) processed —
+    // identical state cannot yield new fixings.
+    std::int64_t lastLpNode_ = -1;
+    double lastLpObj_ = -cip::kInf;
+    double lastLpCutoff_ = cip::kInf;
 };
 
 /// Shared deletion-only reduction pass on the subgraph induced by the

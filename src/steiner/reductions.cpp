@@ -132,6 +132,13 @@ long long boundBasedTest(Graph& g, ReductionStats& stats, double upperBound,
                          bool useExtended) {
     if (upperBound >= kInfCost) return 0;
     DualAscentResult da = dualAscent(g);
+    return boundBasedTestWithDa(g, stats, upperBound, useExtended, da);
+}
+
+long long boundBasedTestWithDa(Graph& g, ReductionStats& stats,
+                               double upperBound, bool useExtended,
+                               const DualAscentResult& da) {
+    if (upperBound >= kInfCost) return 0;
     if (da.root < 0 || da.disconnected) return 0;
     const double lb = da.lowerBound;
     long long deleted = 0;

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "steiner/dualascent.hpp"
 #include "steiner/graph.hpp"
 
 namespace steiner {
@@ -40,6 +41,15 @@ void sdTest(Graph& g, ReductionStats& stats, int scanLimit = 2000);
 /// Returns the number of edges deleted.
 long long boundBasedTest(Graph& g, ReductionStats& stats, double upperBound,
                          bool useExtended);
+
+/// Same test driven by a caller-supplied dual-ascent state (the ReduceEngine
+/// passes its warm-started ascent instead of paying a cold one here). `da`
+/// must be valid for g: computed on a graph whose usable edges were a
+/// superset of g's and whose terminals were a subset of g's (see
+/// dualAscentWarm). Arcs deleted in g are simply never queried.
+long long boundBasedTestWithDa(Graph& g, ReductionStats& stats,
+                               double upperBound, bool useExtended,
+                               const DualAscentResult& da);
 
 /// Full presolve loop: degree + SD + (optionally) bound-based with a TM
 /// heuristic upper bound, until fixpoint or `maxRounds`.

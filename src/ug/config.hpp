@@ -136,6 +136,17 @@ struct UgStats {
     long long shareCutsReceived = 0;  ///< supports delivered to base solvers
     long long shareCutsAdmitted = 0;  ///< certified + violated, entered an LP
     long long shareCutsInvalid = 0;   ///< failed receiver certification
+
+    // Tree-level variable fixing aggregated across solvers: built-in LP
+    // reduced-cost fixing and graph-reduction propagation (ReduceEngine).
+    long long redcostCalls = 0;        ///< reduced-cost fixing passes run
+    long long redcostTightenings = 0;  ///< bounds tightened by those passes
+    long long redcostFixings = 0;      ///< domains closed to a point
+    long long redpropRuns = 0;         ///< reduction-engine passes executed
+    long long redpropArcsFixed = 0;    ///< variables fixed by reductions
+    long long redpropDaWarmStarts = 0; ///< dual ascents warm-started
+    long long redpropLbSkips = 0;      ///< cached dual bounds reused
+    long long redpropDaCutsFed = 0;    ///< dual-ascent cuts fed to separation
     double idleRatio = 0.0;           ///< filled in by the engine at the end
     long long openNodesAtEnd = 0;     ///< pool + in-tree nodes on termination
     long long initialOpenNodes = 0;   ///< pool size after a checkpoint restart

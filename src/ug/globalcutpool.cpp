@@ -54,6 +54,7 @@ bool GlobalCutPool::offer(const CutSupport& cs, int origin) {
             duplicate = (esize == n);
             if (duplicate) {
                 markKnown(e, origin);
+                markReported(e, origin);  // independent re-find: popularity++
                 e.touch = ++clock_;  // re-reported: still in circulation
             }
             break;
@@ -93,8 +94,11 @@ bool GlobalCutPool::offer(const CutSupport& cs, int origin) {
     e.rhsClass = cs.rhsClass;
     e.touch = ++clock_;
     e.known.assign(static_cast<std::size_t>(knownWords_), 0);
+    e.reporters.assign(static_cast<std::size_t>(knownWords_), 0);
+    e.admits = 0;
     e.alive = true;
     markKnown(e, origin);
+    markReported(e, origin);
     indexEntry(newId);
     ++liveCount_;
 
@@ -123,11 +127,16 @@ CutBundle GlobalCutPool::bundleFor(int receiver,
         const Entry& e = entries_[static_cast<std::size_t>(id)];
         if (e.alive && !knows(e, receiver)) order_.push_back(id);
     }
-    // Newest-touched first; the touch clock is strictly monotone so the
-    // order (and with it the whole run) is deterministic.
+    // Popular supports first — a cut independently admitted by >= 2 local
+    // dominance pools has proved itself across subtrees — then
+    // newest-touched within each class. The touch clock is strictly
+    // monotone, so the order (and with it the whole run) is deterministic.
     std::sort(order_.begin(), order_.end(), [this](int a, int b) {
-        return entries_[static_cast<std::size_t>(a)].touch >
-               entries_[static_cast<std::size_t>(b)].touch;
+        const Entry& ea = entries_[static_cast<std::size_t>(a)];
+        const Entry& eb = entries_[static_cast<std::size_t>(b)];
+        const bool pa = ea.admits >= 2, pb = eb.admits >= 2;
+        if (pa != pb) return pa;
+        return ea.touch > eb.touch;
     });
 
     for (int id : order_) {
@@ -161,6 +170,8 @@ void GlobalCutPool::evict(int id, std::int64_t* counter) {
     e.alive = false;
     e.vars.clear();
     e.known.clear();
+    e.reporters.clear();
+    e.admits = 0;
     freeIds_.push_back(id);
     --liveCount_;
     ++*counter;

@@ -43,9 +43,12 @@ public:
     /// Builds the priming bundle for an assignment to `receiver`: up to
     /// `maxCuts` live supports the receiver does not already know, skipping
     /// supports made trivially satisfied by the subproblem (any support var
-    /// fixed to 1 — the row cannot separate anything there). Newest-touched
-    /// supports go first; everything sent is marked known to the receiver
-    /// and touch-refreshed (a cut in active circulation should not age out).
+    /// fixed to 1 — the row cannot separate anything there). Popular
+    /// supports — independently admitted by >= 2 solvers' local dominance
+    /// pools — go first (they proved useful across subtrees, so they are the
+    /// best bet for yet another receiver), newest-touched within each class;
+    /// everything sent is marked known to the receiver and touch-refreshed
+    /// (a cut in active circulation should not age out).
     CutBundle bundleFor(int receiver, const cip::SubproblemDesc& desc,
                         int maxCuts);
 
@@ -68,6 +71,9 @@ private:
         int rhsClass = 1;
         std::uint64_t touch = 0;            ///< last-use stamp (monotone)
         std::vector<std::uint64_t> known;   ///< rank bitset: already has it
+        std::vector<std::uint64_t> reporters;  ///< rank bitset: admitted it
+                                               ///< into its local pool
+        int admits = 0;  ///< distinct ranks that reported (re-found) the cut
         bool alive = false;
     };
 
@@ -78,6 +84,17 @@ private:
     void markKnown(Entry& e, int rank) {
         e.known[static_cast<std::size_t>(rank) >> 6] |=
             std::uint64_t{1} << (static_cast<unsigned>(rank) & 63u);
+    }
+    /// Count `rank` as a distinct reporter of `e` (a solver whose local pool
+    /// admitted the cut); feeds the popularity ordering of bundleFor().
+    void markReported(Entry& e, int rank) {
+        std::uint64_t& w = e.reporters[static_cast<std::size_t>(rank) >> 6];
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << (static_cast<unsigned>(rank) & 63u);
+        if (!(w & bit)) {
+            w |= bit;
+            ++e.admits;
+        }
     }
 
     /// Offers one decoded support; returns true iff admitted.

@@ -16,6 +16,7 @@ LoadCoordinator::LoadCoordinator(ParaComm& comm, const UgConfig& cfg)
                cfg.baseParams.getInt("stp/share/maxpool", 512)),
       shareCuts_(cfg.baseParams.getBool("stp/share/enable", true)),
       shareMaxCuts_(cfg.baseParams.getInt("stp/share/maxcutsup", 32)),
+      shareAdaptive_(cfg.baseParams.getBool("stp/share/adaptivebatch", true)),
       cutoff_(cip::kInf) {
     info_.resize(cfg_.numSolvers + 1);
 }
@@ -27,9 +28,35 @@ void LoadCoordinator::mergeSharedCuts(const Message& m) {
     stats_.shareCutsPooled += ms.pooled;
 }
 
+void LoadCoordinator::observeShareTelemetry(SolverInfo& si, const LpEffort& e) {
+    // Counters are cumulative over the rank's current subproblem; the
+    // lastShared* baselines are reset whenever a new subproblem is assigned,
+    // so each report contributes exactly its delta. A negative delta means
+    // the baseline is stale (reordered or lost traffic) — resynchronize
+    // without feeding the EWMA.
+    const std::int64_t dR = e.sharedReceived - si.lastSharedReceived;
+    const std::int64_t dA = e.sharedAdmitted - si.lastSharedAdmitted;
+    if (dR > 0 && dA >= 0) {
+        const double rate =
+            std::min(1.0, static_cast<double>(dA) / static_cast<double>(dR));
+        si.admitEwma = 0.7 * si.admitEwma + 0.3 * rate;
+    }
+    si.lastSharedReceived = e.sharedReceived;
+    si.lastSharedAdmitted = e.sharedAdmitted;
+}
+
+int LoadCoordinator::primingBatchFor(int receiver) const {
+    if (!shareAdaptive_) return shareMaxCuts_;
+    // A rank admitting everything gets up to 2x the configured batch, one
+    // rejecting everything ramps down; clamp keeps the bundle useful without
+    // letting a hot streak flood the wire.
+    const double scaled = 2.0 * shareMaxCuts_ * info_[receiver].admitEwma;
+    return std::clamp(static_cast<int>(scaled), 8, 128);
+}
+
 void LoadCoordinator::attachSharedCuts(Message& m, int receiver) {
     if (!shareCuts_) return;
-    m.cuts = cutPool_.bundleFor(receiver, m.desc, shareMaxCuts_);
+    m.cuts = cutPool_.bundleFor(receiver, m.desc, primingBatchFor(receiver));
     stats_.shareCutsSent += m.cuts.count();
 }
 
@@ -75,6 +102,14 @@ void LoadCoordinator::foldLpEffort(const LpEffort& e) {
     stats_.shareCutsReceived += e.sharedReceived;
     stats_.shareCutsAdmitted += e.sharedAdmitted;
     stats_.shareCutsInvalid += e.sharedInvalid;
+    stats_.redcostCalls += e.redcostCalls;
+    stats_.redcostTightenings += e.redcostTightenings;
+    stats_.redcostFixings += e.redcostFixings;
+    stats_.redpropRuns += e.redpropRuns;
+    stats_.redpropArcsFixed += e.redpropArcsFixed;
+    stats_.redpropDaWarmStarts += e.redpropDaWarmStarts;
+    stats_.redpropLbSkips += e.redpropLbSkips;
+    stats_.redpropDaCutsFed += e.redpropDaCutsFed;
     stats_.maxCutPoolSize = std::max(stats_.maxCutPoolSize,
                                      static_cast<long long>(e.poolSize));
 }
@@ -126,6 +161,8 @@ void LoadCoordinator::start(const cip::SubproblemDesc& root) {
             info_[r].settingId = idx;
             info_[r].assigned = root;
             info_[r].lastHeard = racingStart_;
+            info_[r].lastSharedReceived = 0;
+            info_[r].lastSharedAdmitted = 0;
             comm_.send(0, r, m);
         }
         noteActivity();
@@ -166,6 +203,9 @@ void LoadCoordinator::assignNodes() {
         info_[idleRank].openNodes = 0;
         info_[idleRank].assigned = std::move(desc);
         info_[idleRank].lastHeard = comm_.now(0);
+        // The fresh solver's cumulative counters restart at zero.
+        info_[idleRank].lastSharedReceived = 0;
+        info_[idleRank].lastSharedAdmitted = 0;
         ++stats_.transferredNodes;
         comm_.send(0, idleRank, m);
         noteActivity();
@@ -343,6 +383,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.openNodes = m.openNodes;
             si.nodesProcessed = m.nodesProcessed;
             si.busyUnits = m.busyCost;
+            observeShareTelemetry(si, m.lpEffort);
             si.lpEffort = m.lpEffort;
             mergeSharedCuts(m);
             // The pool-size gauge peaks mid-subproblem, so track it from
@@ -395,6 +436,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.assigned.reset();
             stats_.totalNodesProcessed += m.nodesProcessed;
             stats_.busyUnits += m.busyCost;
+            observeShareTelemetry(si, m.lpEffort);
             foldLpEffort(m.lpEffort);
             si.lpEffort = {};
             si.dualBound = m.dualBound;
@@ -425,6 +467,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             si.collecting = false;
             stats_.totalNodesProcessed += m.nodesProcessed;
             stats_.busyUnits += m.busyCost;
+            observeShareTelemetry(si, m.lpEffort);
             foldLpEffort(m.lpEffort);
             si.lpEffort = {};
             adoptSolution(m.sol);

@@ -65,6 +65,14 @@ private:
         LpEffort lpEffort;  ///< last reported (running subproblem)
         int settingId = -1;
         std::optional<cip::SubproblemDesc> assigned;  ///< for checkpointing
+
+        // Shared-cut telemetry for adaptive priming-batch sizing: EWMA of
+        // the rank's observed admit rate (admitted/received at its local
+        // certification gate) and the cumulative counters at the last
+        // report, so each report contributes its delta exactly once.
+        double admitEwma = 0.5;  ///< neutral prior until telemetry arrives
+        std::int64_t lastSharedReceived = 0;
+        std::int64_t lastSharedAdmitted = 0;
     };
 
     void assignNodes();
@@ -92,6 +100,12 @@ private:
     void mergeSharedCuts(const Message& m);
     /// Attach the relevance-filtered priming bundle to an assignment.
     void attachSharedCuts(Message& m, int receiver);
+    /// Fold a worker report's shared-cut counters into the rank's admit-rate
+    /// EWMA (deltas against the previous report of the same subproblem).
+    void observeShareTelemetry(SolverInfo& si, const LpEffort& e);
+    /// Per-receiver priming batch bound: the static stp/share/maxcutsup, or
+    /// the EWMA-scaled adaptive size clamped to [8, 128].
+    int primingBatchFor(int receiver) const;
     void checkDone();
     void terminateAll();
     void saveCheckpoint() const;
@@ -107,6 +121,8 @@ private:
     GlobalCutPool cutPool_;  ///< cross-solver shared cut supports
     bool shareCuts_ = true;  ///< stp/share/enable (from cfg.baseParams)
     int shareMaxCuts_ = 32;  ///< stp/share/maxcutsup: per-message batch bound
+    bool shareAdaptive_ = true;  ///< stp/share/adaptivebatch: scale the batch
+                                 ///< per receiver by its admit-rate EWMA
     std::vector<SolverInfo> info_;  ///< index 1..numSolvers (0 unused)
     cip::Solution best_;
     double cutoff_;  ///< objective of best_, or +inf

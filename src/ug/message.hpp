@@ -72,6 +72,17 @@ struct LpEffort {
     std::int64_t sharedReceived = 0;  ///< shared supports delivered to solver
     std::int64_t sharedAdmitted = 0;  ///< certified + violated, entered the LP
     std::int64_t sharedInvalid = 0;   ///< failed certification, dropped
+
+    // Tree-level variable fixing: the built-in LP reduced-cost fixing pass
+    // and the graph-reduction propagation (e.g. the Steiner ReduceEngine).
+    std::int64_t redcostCalls = 0;        ///< reduced-cost fixing passes run
+    std::int64_t redcostTightenings = 0;  ///< bounds tightened by those passes
+    std::int64_t redcostFixings = 0;      ///< domains closed to a point
+    std::int64_t redpropRuns = 0;         ///< reduction-engine passes executed
+    std::int64_t redpropArcsFixed = 0;    ///< variables fixed by reductions
+    std::int64_t redpropDaWarmStarts = 0; ///< dual ascents warm-started
+    std::int64_t redpropLbSkips = 0;      ///< cached dual bounds reused
+    std::int64_t redpropDaCutsFed = 0;    ///< dual-ascent cuts fed to sepa
 };
 
 /// One message. Fields are used depending on the tag; unused fields stay at

@@ -59,6 +59,14 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.sharedReceived = s.sharedCutsReceived;
     e.sharedAdmitted = s.sharedCutsAdmitted;
     e.sharedInvalid = s.sharedCutsInvalid;
+    e.redcostCalls = s.redcostCalls;
+    e.redcostTightenings = s.redcostTightenings;
+    e.redcostFixings = s.redcostFixings;
+    e.redpropRuns = s.redpropRuns;
+    e.redpropArcsFixed = s.redpropArcsFixed;
+    e.redpropDaWarmStarts = s.redpropDaWarmStarts;
+    e.redpropLbSkips = s.redpropLbSkips;
+    e.redpropDaCutsFed = s.redpropDaCutsFed;
     return e;
 }
 

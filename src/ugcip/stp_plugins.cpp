@@ -9,11 +9,14 @@ namespace ugcip {
 
 void SteinerUserPlugins::installPlugins(cip::Solver& solver) {
     using namespace steiner;
-    solver.addConstraintHandler(std::make_unique<StpConshdlr>(inst_));
+    auto conshdlr = std::make_unique<StpConshdlr>(inst_);
+    StpConshdlr* conshdlrPtr = conshdlr.get();
+    solver.addConstraintHandler(std::move(conshdlr));
     solver.addBranchrule(std::make_unique<StpVertexBranching>(inst_));
     solver.addHeuristic(std::make_unique<StpHeuristic>(inst_));
     solver.addPresolver(std::make_unique<StpSubproblemReducer>(inst_));
-    solver.addPropagator(std::make_unique<StpReductionPropagator>(inst_));
+    solver.addPropagator(
+        std::make_unique<StpReductionPropagator>(inst_, conshdlrPtr));
     solver.params().setBool("heuristics/diving/enabled", false);
     solver.params().setInt("separating/maxrounds", 3);
     solver.params().setInt("separating/maxpoolsize", 250);

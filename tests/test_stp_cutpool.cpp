@@ -335,6 +335,11 @@ RootStats rootSeparationRun(const Graph& g, bool dominance) {
     // the bounds are only band-equal. A tiny tolerance makes both runs
     // converge to the unique separation-closure bound of the root LP.
     solver.params().setReal("stp/sepa/violationtol", 1e-6);
+    // The incremental reduction engine can solve easy instances outright at
+    // the root (heuristic incumbent + bound-based fixing) before a single
+    // separation round runs; this test measures separation trajectories, so
+    // pin the legacy propagation behavior.
+    solver.params().setBool("stp/redprop/incremental", false);
     installStpPlugins(solver, inst);
     solver.solve();
     RootStats rs;
