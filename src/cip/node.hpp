@@ -38,6 +38,12 @@ struct SubproblemDesc {
     std::vector<CustomBranch> customBranches;
     double lowerBound = -lp::kInf;  ///< best known dual bound of the node
 
+    /// Times this root was requeued after a solver failure or stall. A
+    /// coordinator redispatching a retryLevel > 0 node attaches a fallback
+    /// parameter profile, so a subproblem that stalled one configuration is
+    /// not re-run under the identical one. Survives checkpointing.
+    int retryLevel = 0;
+
     bool isRoot() const {
         return boundChanges.empty() && customBranches.empty();
     }

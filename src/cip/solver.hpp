@@ -93,6 +93,8 @@ struct Stats {
     std::int64_t sharedCutsReceived = 0;  ///< shared supports queued
     std::int64_t sharedCutsAdmitted = 0;  ///< certified + violated, in the LP
     std::int64_t sharedCutsInvalid = 0;   ///< failed certification, dropped
+    std::int64_t sharedCutsDecodeFailures = 0;  ///< whole bundles rejected
+                                                ///< as corrupt at decode
 
     // Built-in reduced-cost fixing ("propagating/redcostfix"), run after
     // every Optimal LP solve with a finite incumbent.
@@ -235,12 +237,16 @@ public:
         stats_.cutDominatedEvicted += dominatedEvicted;
         stats_.cutPoolSize = poolSize;
     }
-    /// Accumulate cross-solver shared-cut counters (deltas).
+    /// Accumulate cross-solver shared-cut counters (deltas). A decode
+    /// failure means the whole bundle's framing was corrupt — the
+    /// coordinator uses the count to quarantine the corrupting link.
     void recordSharedCutStats(std::int64_t received, std::int64_t admitted,
-                              std::int64_t invalid) {
+                              std::int64_t invalid,
+                              std::int64_t decodeFailures = 0) {
         stats_.sharedCutsReceived += received;
         stats_.sharedCutsAdmitted += admitted;
         stats_.sharedCutsInvalid += invalid;
+        stats_.sharedCutsDecodeFailures += decodeFailures;
     }
     /// Accumulate graph-reduction propagation counters (deltas since the
     /// plugin's previous report).

@@ -50,8 +50,10 @@ void StpConshdlr::primeSharedCuts(cip::Solver& solver,
     if (cuts.empty()) return;
     std::vector<ug::CutSupport> decoded;
     if (!cuts.decode(decoded)) {
-        // Corrupt framing: nothing in the bundle is trustworthy.
-        solver.recordSharedCutStats(cuts.count(), 0, cuts.count());
+        // Corrupt framing: nothing in the bundle is trustworthy. The decode
+        // failure itself is counted so the coordinator can quarantine the
+        // link that keeps delivering corrupt bundles.
+        solver.recordSharedCutStats(cuts.count(), 0, cuts.count(), 1);
         return;
     }
     std::int64_t invalid = 0;

@@ -1,17 +1,37 @@
-// Checkpoint serialization: primitive nodes + incumbent, as plain text.
+// Crash-consistent checkpoint serialization.
 //
 // UG's checkpointing strategy (paper section 2.2): only primitive nodes —
 // nodes with no ancestor inside the LoadCoordinator — are saved. Restarting
 // regenerates the discarded subtrees, an overhead that the paper notes is
 // often outweighed by re-applying global presolving on restart.
+//
+// Durability model (src/ug/README.md "Recovery" documents the format):
+//  - Binary, versioned, little-endian. The file is a fixed header (magic,
+//    version, generation, section count, header CRC32) followed by typed
+//    sections, each framed as {id, payload length, payload CRC32, payload}.
+//    Every strict prefix of a valid file fails validation, so a torn or
+//    short write can never be mistaken for a checkpoint.
+//  - Atomic replace: the image is written to `<slot>.tmp`, flushed and
+//    fsync'd, then rename(2)d over the slot (and the directory fsync'd), so
+//    a crash mid-write leaves the previous slot contents intact.
+//  - A/B double buffering: `saveCheckpoint(path, ...)` alternates between
+//    `path.a` and `path.b`, always overwriting the older (or invalid) slot
+//    with a strictly increasing generation number. `loadCheckpoint(path)`
+//    validates both slots and returns the newest one that passes — if the
+//    latest generation is corrupt (torn write, bit rot), the previous good
+//    generation is still there.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "cip/model.hpp"
 #include "cip/node.hpp"
+#include "ug/config.hpp"
+#include "ug/cutbundle.hpp"
 
 namespace ug {
 
@@ -19,12 +39,80 @@ struct Checkpoint {
     std::vector<cip::SubproblemDesc> nodes;
     cip::Solution incumbent;      ///< may be invalid (no solution yet)
     double dualBound = -cip::kInf;
+
+    // Incumbent provenance: rank that reported it and the racing setting it
+    // ran under (-1: unknown / initial solution).
+    int incumbentSource = -1;
+    int incumbentSetting = -1;
+
+    /// Global cut pool supports in the delta-coded wire form, so a restart
+    /// resumes cross-solver sharing instead of re-deriving the fleet's
+    /// accumulated root cuts from scratch.
+    CutBundle cuts;
+
+    /// Cumulative run statistics; restored on restart so effort accounting
+    /// continues across interruptions instead of resetting.
+    bool hasStats = false;
+    UgStats stats;
+
+    /// Whether the racing ramp-up phase had already been resolved when the
+    /// checkpoint was taken (restarts skip racing either way; recorded for
+    /// diagnostics and forward compatibility).
+    bool racingDone = false;
 };
 
-/// Serialize to a file; returns false on I/O failure.
-bool saveCheckpoint(const std::string& path, const Checkpoint& cp);
+/// Why a load failed (or how it succeeded) — for logging and tests.
+struct CheckpointLoadReport {
+    int slotsPresent = 0;         ///< slot files that exist
+    int slotsCorrupt = 0;         ///< present slots that failed validation
+    std::uint64_t generation = 0; ///< generation loaded (0: none)
+    std::string error;            ///< first validation failure, if any
+};
 
-/// Load from a file; nullopt on missing/corrupt file.
-std::optional<Checkpoint> loadCheckpoint(const std::string& path);
+/// Deterministic torn-write fault injector (FaultPlan::tornWriteProb): with
+/// the configured probability a checkpoint image is truncated at a random
+/// byte offset before it replaces its slot, simulating a crash mid-write
+/// that rename() made visible anyway (the worst case a real fs can hand us
+/// back after a power cut with insufficient barriers).
+class TornWriter {
+public:
+    TornWriter(double prob, unsigned seed) : prob_(prob), rng_(seed ^ 0x70171u) {}
+
+    /// Bytes of an `n`-byte image to keep; n itself means "write cleanly".
+    std::size_t truncateAt(std::size_t n) {
+        if (n == 0 ||
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >= prob_)
+            return n;
+        ++injected_;
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng_);
+    }
+
+    long long injected() const { return injected_; }
+
+private:
+    double prob_;
+    std::mt19937 rng_;
+    long long injected_ = 0;
+};
+
+/// The two slot files behind a logical checkpoint path.
+std::string checkpointSlotA(const std::string& path);
+std::string checkpointSlotB(const std::string& path);
+
+/// Remove both slots (and a stale tmp file) — test/cleanup helper.
+void removeCheckpointFiles(const std::string& path);
+
+/// Serialize to the older/invalid slot of `path` with the next generation
+/// number, atomically (tmp + fsync + rename). Returns false on I/O failure.
+/// `torn` optionally injects a short write (fault testing).
+bool saveCheckpoint(const std::string& path, const Checkpoint& cp,
+                    TornWriter* torn = nullptr);
+
+/// Load the newest valid generation across both slots; nullopt when neither
+/// slot validates. `report`, when given, receives the failure reason and
+/// slot census (a caller distinguishes "no checkpoint yet" from "checkpoint
+/// corrupt" via slotsPresent).
+std::optional<Checkpoint> loadCheckpoint(const std::string& path,
+                                         CheckpointLoadReport* report = nullptr);
 
 }  // namespace ug

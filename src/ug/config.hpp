@@ -29,15 +29,29 @@ struct FaultPlan {
     double reorderProb = 0.0;    ///< probability of an overtaking-window hold
     double reorderWindow = 0.005;///< latency that lets later messages overtake
 
+    /// Per-message payload bit-flip probability: one random bit of the
+    /// message's shared-cut blob is flipped in transit (only messages
+    /// carrying a cut bundle are eligible — the cuts channel is the one
+    /// defended by checksums/certification, and corrupting node or solution
+    /// payloads would violate the optimum invariant every fault test pins).
+    double corruptProb = 0.0;
+
+    /// Per-checkpoint-save torn-write probability: the image is truncated at
+    /// a random byte offset before it replaces its slot (see TornWriter in
+    /// checkpoint.hpp). Exercises the A/B fallback path.
+    double tornWriteProb = 0.0;
+
     int killRank = -1;             ///< solver rank to fail (-1: none)
     long long killAfterSends = 0;  ///< outbound messages before the failure
     bool hang = false;  ///< hang (keeps computing/receiving, stops sending)
                         ///< instead of crash (all traffic stops)
 
     /// Whether any fault is configured (engines wrap their comm iff so).
+    /// tornWriteProb is excluded: it is consumed by the LoadCoordinator's
+    /// checkpoint writer, not the message layer.
     bool active() const {
         return dropProb > 0 || delayProb > 0 || duplicateProb > 0 ||
-               reorderProb > 0 || killRank >= 0;
+               reorderProb > 0 || corruptProb > 0 || killRank >= 0;
     }
 };
 
@@ -93,6 +107,29 @@ struct UgConfig {
     /// alive solvers get declared dead (correct but wasteful).
     double heartbeatTimeout = 0.0;
 
+    /// Stall detection: an active rank that keeps sending Status reports but
+    /// whose monotone work counter (Message::workDone — LP iterations plus
+    /// nodes processed) has not advanced for this many engine seconds is
+    /// *stalled* (as opposed to *dead* = silent): it gets a soft Interrupt,
+    /// its root is requeued with a bumped retry level, and the redispatch
+    /// attaches `stallFallbackParams` so the retry runs a different
+    /// configuration. A rank that stays active for another stallTimeout
+    /// after the Interrupt (the Interrupt or its Terminated reply was lost)
+    /// escalates to dead. 0 disables stall detection.
+    double stallTimeout = 0.0;
+
+    /// Parameter overrides attached when redispatching a stalled root
+    /// (retryLevel > 0). Empty means "use the built-in fallback profile"
+    /// (lp/pricing=devex, stp/redprop/incremental=false).
+    cip::ParamSet stallFallbackParams;
+
+    /// Cut-sharing quarantine: after this many *consecutive* corrupt (decode-
+    /// failing) bundles involving one rank, sharing with that rank is
+    /// suspended for `shareQuarantineBackoff * 2^level` engine seconds, with
+    /// the level growing on every repeat offense (exponential backoff).
+    int shareQuarantineStreak = 3;
+    double shareQuarantineBackoff = 0.25;
+
     /// Fault injection (off by default); see FaultPlan. dropProb > 0 needs
     /// heartbeatTimeout > 0 for guaranteed termination, since a dropped
     /// assignment or Terminated report is only recovered via the failure
@@ -136,6 +173,9 @@ struct UgStats {
     long long shareCutsReceived = 0;  ///< supports delivered to base solvers
     long long shareCutsAdmitted = 0;  ///< certified + violated, entered an LP
     long long shareCutsInvalid = 0;   ///< failed receiver certification
+    long long shareCutsDecodeFailures = 0;  ///< corrupt bundles (either side)
+    long long shareCutsQuarantined = 0;     ///< supports dropped while a
+                                            ///< rank's sharing was suspended
 
     // Tree-level variable fixing aggregated across solvers: built-in LP
     // reduced-cost fixing and graph-reduction propagation (ReduceEngine).
@@ -154,6 +194,7 @@ struct UgStats {
     // Fault tolerance.
     long long requeuedNodes = 0;   ///< roots requeued after a solver failure
     int deadSolvers = 0;           ///< ranks declared dead by the heartbeat
+    long long stallInterrupts = 0; ///< soft interrupts sent to stalled ranks
     long long ignoredMessages = 0; ///< stale/duplicate messages discarded
 
     // Fault injection (filled from FaultyComm when a plan is active).
@@ -162,6 +203,13 @@ struct UgStats {
     long long msgsDuplicated = 0;
     long long msgsReordered = 0;
     long long msgsSwallowedDead = 0;  ///< traffic from/to a killed rank
+    long long msgsCorrupted = 0;      ///< payload bit-flips injected
+
+    // Checkpointing / recovery.
+    long long checkpointSaves = 0;        ///< images written (incl. torn)
+    long long checkpointTornWrites = 0;   ///< injected short writes
+    long long checkpointLoadFailures = 0; ///< restart loads that failed
+    long long checkpointRestarts = 0;     ///< successful checkpoint restores
 };
 
 enum class UgStatus { Optimal, Infeasible, TimeLimit, Failed };

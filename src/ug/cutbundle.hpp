@@ -84,6 +84,32 @@ public:
         count_ = 0;
     }
 
+    /// Raw wire words — serialization (checkpointing) and fault-injection
+    /// hooks only; the encoding invariants are documented above.
+    const std::vector<std::int32_t>& wire() const { return blob_; }
+
+    /// Restore from a serialized (count, wire words) pair, validating by a
+    /// full decode. On malformed input the bundle is left empty and false is
+    /// returned — a corrupt checkpoint section cannot smuggle in a blob that
+    /// later decode() calls would reject.
+    bool restoreWire(std::int32_t count, std::vector<std::int32_t> blob) {
+        count_ = count;
+        blob_ = std::move(blob);
+        std::vector<CutSupport> scratch;
+        if (count_ < 0 || !decode(scratch)) {
+            clear();
+            return false;
+        }
+        return true;
+    }
+
+    /// Fault-injection hook: flip one bit of one wire word (payload
+    /// corruption in transit). No-op on an empty bundle.
+    void flipWireBit(std::size_t word, unsigned bit) {
+        if (word < blob_.size())
+            blob_[word] ^= static_cast<std::int32_t>(1u << (bit & 31u));
+    }
+
 private:
     static bool fail(std::vector<CutSupport>& out, std::size_t outStart) {
         out.resize(outStart);

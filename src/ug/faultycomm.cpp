@@ -42,6 +42,28 @@ void FaultyComm::send(int src, int dest, Message msg) {
         }
     }
 
+    // Payload corruption: flip one random bit of the shared-cut blob. Only
+    // messages carrying cuts are eligible — the cuts channel is the one with
+    // end-to-end defenses (CRC-framed checkpoints, receiver certification,
+    // wholesale decode rejection), whereas corrupting a node or solution
+    // would break the optimum invariant rather than exercise recovery. The
+    // roll is skipped entirely when unconfigured so pre-existing fault
+    // schedules replay identically.
+    if (plan_.corruptProb > 0 && msg.tag != Tag::Termination &&
+        !msg.cuts.wire().empty()) {
+        const double u =
+            std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+        if (u < plan_.corruptProb) {
+            const std::size_t words = msg.cuts.wire().size();
+            const std::size_t word = std::uniform_int_distribution<
+                std::size_t>(0, words - 1)(rng_);
+            const unsigned bit = static_cast<unsigned>(
+                std::uniform_int_distribution<int>(0, 31)(rng_));
+            msg.cuts.flipWireBit(word, bit);
+            ++c_.corrupted;
+        }
+    }
+
     // Shutdown is reliable: Termination bypasses every message fault.
     if (msg.tag != Tag::Termination) {
         const double u =

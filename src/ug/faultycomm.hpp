@@ -39,6 +39,7 @@ public:
         long long duplicated = 0;
         long long reordered = 0;
         long long swallowedDead = 0;  ///< messages from/to the killed rank
+        long long corrupted = 0;      ///< payload bit-flips injected
     };
 
     // ParaComm

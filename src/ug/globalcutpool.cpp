@@ -13,7 +13,10 @@ GlobalCutPool::MergeStats GlobalCutPool::merge(const CutBundle& bundle,
     MergeStats ms;
     if (bundle.empty()) return ms;
     std::vector<CutSupport> cuts;
-    if (!bundle.decode(cuts)) return ms;  // corrupt: drop whole bundle
+    if (!bundle.decode(cuts)) {  // corrupt: drop whole bundle
+        ms.decodeFailed = true;
+        return ms;
+    }
     ms.reported = static_cast<int>(cuts.size());
     for (const CutSupport& cs : cuts)
         if (offer(cs, origin)) ++ms.pooled;

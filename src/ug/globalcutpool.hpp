@@ -33,6 +33,8 @@ public:
     struct MergeStats {
         int reported = 0;  ///< supports decoded from the bundle
         int pooled = 0;    ///< newly admitted (survived the dominance filter)
+        bool decodeFailed = false;  ///< bundle framing was corrupt (dropped
+                                    ///< whole); feeds the sender quarantine
     };
 
     /// Merges a solver-reported bundle. The origin rank is marked as knowing

@@ -19,13 +19,50 @@ LoadCoordinator::LoadCoordinator(ParaComm& comm, const UgConfig& cfg)
       shareAdaptive_(cfg.baseParams.getBool("stp/share/adaptivebatch", true)),
       cutoff_(cip::kInf) {
     info_.resize(cfg_.numSolvers + 1);
+    stallParams_ = cfg_.stallFallbackParams;
+    if (stallParams_.raw().empty()) {
+        // Built-in fallback profile for stalled-root redispatch: a different
+        // pricing rule and non-incremental reduction propagation sidestep
+        // the two subsystems most likely to loop on a pathological node.
+        stallParams_.setString("lp/pricing", "devex");
+        stallParams_.setBool("stp/redprop/incremental", false);
+    }
+    if (cfg_.faults.tornWriteProb > 0)
+        tornWriter_.emplace(cfg_.faults.tornWriteProb, cfg_.faults.seed);
+}
+
+void LoadCoordinator::noteDecodeFailure(SolverInfo& si, double now) {
+    if (++si.decodeFailStreak < std::max(1, cfg_.shareQuarantineStreak))
+        return;
+    // Streak reached: suspend sharing with this rank, doubling the window on
+    // every repeat offense. A transiently corrupting link recovers after one
+    // short suspension; a persistently bad one converges to effectively
+    // disabled sharing instead of wasting wire and certification work
+    // forever.
+    si.decodeFailStreak = 0;
+    const int level = std::min(si.quarantineLevel, 16);
+    si.quarantineUntil =
+        now + cfg_.shareQuarantineBackoff * static_cast<double>(1 << level);
+    ++si.quarantineLevel;
 }
 
 void LoadCoordinator::mergeSharedCuts(const Message& m) {
     if (!shareCuts_ || m.cuts.empty()) return;
+    SolverInfo& si = info_[m.src];
+    const double now = comm_.now(0);
+    if (now < si.quarantineUntil) {
+        stats_.shareCutsQuarantined += m.cuts.count();
+        return;
+    }
     const GlobalCutPool::MergeStats ms = cutPool_.merge(m.cuts, m.src);
     stats_.shareCutsReported += ms.reported;
     stats_.shareCutsPooled += ms.pooled;
+    if (ms.decodeFailed) {
+        ++stats_.shareCutsDecodeFailures;
+        noteDecodeFailure(si, now);
+    } else {
+        si.decodeFailStreak = 0;
+    }
 }
 
 void LoadCoordinator::observeShareTelemetry(SolverInfo& si, const LpEffort& e) {
@@ -43,6 +80,18 @@ void LoadCoordinator::observeShareTelemetry(SolverInfo& si, const LpEffort& e) {
     }
     si.lastSharedReceived = e.sharedReceived;
     si.lastSharedAdmitted = e.sharedAdmitted;
+
+    // Worker-side decode failures implicate the same link as LC-side ones
+    // (the priming direction instead of the reporting direction); each failed
+    // bundle counts toward the rank's quarantine streak.
+    const std::int64_t dF =
+        e.sharedDecodeFailures - si.lastSharedDecodeFailures;
+    if (dF > 0) {
+        stats_.shareCutsDecodeFailures += dF;
+        for (std::int64_t i = 0; i < dF; ++i)
+            noteDecodeFailure(si, comm_.now(0));
+    }
+    si.lastSharedDecodeFailures = e.sharedDecodeFailures;
 }
 
 int LoadCoordinator::primingBatchFor(int receiver) const {
@@ -56,6 +105,7 @@ int LoadCoordinator::primingBatchFor(int receiver) const {
 
 void LoadCoordinator::attachSharedCuts(Message& m, int receiver) {
     if (!shareCuts_) return;
+    if (comm_.now(0) < info_[receiver].quarantineUntil) return;
     m.cuts = cutPool_.bundleFor(receiver, m.desc, primingBatchFor(receiver));
     stats_.shareCutsSent += m.cuts.count();
 }
@@ -163,6 +213,10 @@ void LoadCoordinator::start(const cip::SubproblemDesc& root) {
             info_[r].lastHeard = racingStart_;
             info_[r].lastSharedReceived = 0;
             info_[r].lastSharedAdmitted = 0;
+            info_[r].lastSharedDecodeFailures = 0;
+            info_[r].lastProgress = 0;
+            info_[r].lastProgressTime = racingStart_;
+            info_[r].stallInterrupted = false;
             comm_.send(0, r, m);
         }
         noteActivity();
@@ -197,6 +251,10 @@ void LoadCoordinator::assignNodes() {
         m.tag = Tag::Subproblem;
         m.desc = desc;
         if (best_.valid()) m.sol = best_;
+        // A requeued root (its first run failed or stalled) retries under the
+        // fallback parameter profile — a different configuration is the best
+        // bet against a deterministic stall reproducing itself.
+        if (desc.retryLevel > 0) m.params = stallParams_;
         attachSharedCuts(m, idleRank);
         info_[idleRank].active = true;
         info_[idleRank].dualBound = desc.lowerBound;
@@ -206,6 +264,10 @@ void LoadCoordinator::assignNodes() {
         // The fresh solver's cumulative counters restart at zero.
         info_[idleRank].lastSharedReceived = 0;
         info_[idleRank].lastSharedAdmitted = 0;
+        info_[idleRank].lastSharedDecodeFailures = 0;
+        info_[idleRank].lastProgress = 0;
+        info_[idleRank].lastProgressTime = info_[idleRank].lastHeard;
+        info_[idleRank].stallInterrupted = false;
         ++stats_.transferredNodes;
         comm_.send(0, idleRank, m);
         noteActivity();
@@ -286,11 +348,14 @@ void LoadCoordinator::broadcastSolution() {
     }
 }
 
-bool LoadCoordinator::adoptSolution(const cip::Solution& sol) {
+bool LoadCoordinator::adoptSolution(const cip::Solution& sol, int source,
+                                    int settingId) {
     if (!sol.valid() || (best_.valid() && sol.obj >= best_.obj - 1e-12))
         return false;
     best_ = sol;
     cutoff_ = best_.obj;
+    bestSource_ = source;
+    bestSetting_ = settingId;
     // Drop pool nodes that are now cut off.
     std::erase_if(pool_, [&](const cip::SubproblemDesc& d) {
         return d.lowerBound >= cutoff_ - 1e-9;
@@ -357,7 +422,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
         // certificates, though — adopt those, discard the rest.
         if (m.tag == Tag::SolutionFound) {
             ++stats_.solutionsFound;
-            adoptSolution(m.sol);
+            adoptSolution(m.sol, r, si.settingId);
         } else {
             ++stats_.ignoredMessages;
         }
@@ -368,7 +433,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
     switch (m.tag) {
         case Tag::SolutionFound: {
             ++stats_.solutionsFound;
-            adoptSolution(m.sol);
+            adoptSolution(m.sol, r, si.settingId);
             break;
         }
         case Tag::Status: {
@@ -378,6 +443,13 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 // no longer describe a running subproblem.
                 ++stats_.ignoredMessages;
                 break;
+            }
+            // Progress watermark: the stall detector only trusts forward
+            // motion of the monotone work counter, not the mere arrival of
+            // Status traffic (a wedged solver can stay chatty).
+            if (m.workDone > si.lastProgress) {
+                si.lastProgress = m.workDone;
+                si.lastProgressTime = si.lastHeard;
             }
             si.dualBound = std::max(si.dualBound, m.dualBound);
             si.openNodes = m.openNodes;
@@ -425,11 +497,11 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 // ended; the first copy did all the work, but the attached
                 // solution is still a certificate.
                 ++stats_.ignoredMessages;
-                adoptSolution(m.sol);
+                adoptSolution(m.sol, r, si.settingId);
                 break;
             }
             // A racer solved the instance outright during the racing stage.
-            adoptSolution(m.sol);
+            adoptSolution(m.sol, r, si.settingId);
             mergeSharedCuts(m);
             instanceSolvedInRacing_ = true;
             si.active = false;
@@ -460,7 +532,8 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 // assignment). Folding it in again would double-count the
                 // statistics and could requeue an already-covered root.
                 ++stats_.ignoredMessages;
-                adoptSolution(m.sol);  // its incumbent is still a certificate
+                // its incumbent is still a certificate
+                adoptSolution(m.sol, r, si.settingId);
                 break;
             }
             si.active = false;
@@ -470,7 +543,7 @@ void LoadCoordinator::handleMessage(const Message& m) {
             observeShareTelemetry(si, m.lpEffort);
             foldLpEffort(m.lpEffort);
             si.lpEffort = {};
-            adoptSolution(m.sol);
+            adoptSolution(m.sol, r, si.settingId);
             mergeSharedCuts(m);
             if (m.completed) {
                 si.assigned.reset();
@@ -482,14 +555,20 @@ void LoadCoordinator::handleMessage(const Message& m) {
                 // root fallback keeps the search exhaustive).
                 si.assigned.reset();
             } else {
-                // Unexpected incomplete termination (solver failure): the
-                // subproblem's coverage would be lost — requeue its root.
+                // Unexpected incomplete termination (solver failure or a
+                // stall-detector Interrupt): the subproblem's coverage would
+                // be lost — requeue its root. A stall-interrupted root gets
+                // its retry level bumped so the redispatch attaches the
+                // fallback parameter profile.
                 if (si.assigned) {
-                    pool_.push_back(*si.assigned);
+                    cip::SubproblemDesc d = std::move(*si.assigned);
+                    if (si.stallInterrupted) ++d.retryLevel;
+                    pool_.push_back(std::move(d));
                     ++stats_.requeuedNodes;
                 }
                 si.assigned.reset();
             }
+            si.stallInterrupted = false;
             si.openNodes = 0;
             if (stopping_) {
                 if (activeCount() == 0) terminateAll();
@@ -555,44 +634,86 @@ void LoadCoordinator::forceStop() {
     if (!anyActive) terminateAll();
 }
 
+void LoadCoordinator::declareDead(int r, double now, const char* why) {
+    SolverInfo& si = info_[r];
+    si.dead = true;
+    si.active = false;
+    si.collecting = false;
+    ++stats_.deadSolvers;
+    // Fold in its last reported progress — the authoritative Terminated
+    // report will never come (and is ignored if it does).
+    stats_.totalNodesProcessed += si.nodesProcessed;
+    stats_.busyUnits += si.busyUnits;
+    foldLpEffort(si.lpEffort);
+    si.nodesProcessed = 0;
+    si.busyUnits = 0;
+    si.lpEffort = {};
+    si.openNodes = 0;
+    if (si.assigned && !racingPhase_ && !stopping_) {
+        // The requeue-on-failure invariant: the victim's primitive root
+        // goes back into the pool, so its subtree is re-covered. During
+        // racing every racer holds the same root (maybeFinishRacing
+        // restores one copy if all racers die); during shutdown the
+        // root is already in the checkpoint. A stall-escalation victim's
+        // root gets a bumped retry level: it already proved pathological
+        // under the current configuration.
+        cip::SubproblemDesc d = std::move(*si.assigned);
+        if (si.stallInterrupted) ++d.retryLevel;
+        pool_.push_back(std::move(d));
+        ++stats_.requeuedNodes;
+    }
+    si.assigned.reset();
+    si.stallInterrupted = false;
+    if (cfg_.logInterval > 0) {
+        std::printf("[LC %8.3fs] rank %d declared dead (%s); "
+                    "requeued %lld node(s)\n",
+                    now, r, why, stats_.requeuedNodes);
+        std::fflush(stdout);
+    }
+}
+
 void LoadCoordinator::checkHeartbeats(double now) {
-    if (cfg_.heartbeatTimeout <= 0 || done_) return;
+    if ((cfg_.heartbeatTimeout <= 0 && cfg_.stallTimeout <= 0) || done_)
+        return;
     bool anyDied = false;
     for (int r = 1; r <= cfg_.numSolvers; ++r) {
         SolverInfo& si = info_[r];
         if (!si.active || si.dead) continue;
-        if (now - si.lastHeard < cfg_.heartbeatTimeout) continue;
 
-        // Rank r is active but has been silent too long: declare it dead.
-        si.dead = true;
-        si.active = false;
-        si.collecting = false;
-        ++stats_.deadSolvers;
-        anyDied = true;
-        // Fold in its last reported progress — the authoritative Terminated
-        // report will never come (and is ignored if it does).
-        stats_.totalNodesProcessed += si.nodesProcessed;
-        stats_.busyUnits += si.busyUnits;
-        foldLpEffort(si.lpEffort);
-        si.nodesProcessed = 0;
-        si.busyUnits = 0;
-        si.lpEffort = {};
-        si.openNodes = 0;
-        if (si.assigned && !racingPhase_ && !stopping_) {
-            // The requeue-on-failure invariant: the victim's primitive root
-            // goes back into the pool, so its subtree is re-covered. During
-            // racing every racer holds the same root (maybeFinishRacing
-            // restores one copy if all racers die); during shutdown the
-            // root is already in the checkpoint.
-            pool_.push_back(*si.assigned);
-            ++stats_.requeuedNodes;
+        // Dead = silent: an active rank whose traffic stopped entirely.
+        if (cfg_.heartbeatTimeout > 0 &&
+            now - si.lastHeard >= cfg_.heartbeatTimeout) {
+            declareDead(r, now, "silent");
+            anyDied = true;
+            continue;
         }
-        si.assigned.reset();
-        if (cfg_.logInterval > 0) {
-            std::printf("[LC %8.3fs] rank %d declared dead (silent %.3fs); "
-                        "requeued %lld node(s)\n",
-                        now, r, now - si.lastHeard, stats_.requeuedNodes);
-            std::fflush(stdout);
+
+        // Stalled = chatty but not advancing the progress watermark: still
+        // sending Status, yet the monotone work counter has not moved for a
+        // full stall window. First offense gets a soft Interrupt — the
+        // solver reports Terminated(incomplete) and the Terminated handler
+        // requeues its root with a bumped retry level. If the rank is still
+        // active a full window later (the Interrupt or its reply was lost,
+        // or the solver is too wedged to honor it), escalate to dead.
+        if (cfg_.stallTimeout <= 0 ||
+            now - si.lastProgressTime < cfg_.stallTimeout)
+            continue;
+        if (!si.stallInterrupted) {
+            si.stallInterrupted = true;
+            si.lastProgressTime = now;  // restart the escalation clock
+            ++stats_.stallInterrupts;
+            Message m;
+            m.tag = Tag::Interrupt;
+            comm_.send(0, r, m);
+            if (cfg_.logInterval > 0) {
+                std::printf("[LC %8.3fs] rank %d stalled (no progress for "
+                            "%.3fs); interrupting\n",
+                            now, r, cfg_.stallTimeout);
+                std::fflush(stdout);
+            }
+        } else {
+            declareDead(r, now, "stalled, unresponsive to interrupt");
+            anyDied = true;
         }
     }
     if (!anyDied) return;
@@ -664,7 +785,7 @@ double LoadCoordinator::globalDualBound() const {
     return bound;
 }
 
-void LoadCoordinator::saveCheckpoint() const {
+void LoadCoordinator::saveCheckpoint() {
     Checkpoint cp;
     cp.nodes = pool_;
     if (racingPhase_) {
@@ -692,17 +813,65 @@ void LoadCoordinator::saveCheckpoint() const {
         }
     }
     cp.incumbent = best_;
+    cp.incumbentSource = bestSource_;
+    cp.incumbentSetting = bestSetting_;
     cp.dualBound = globalDualBound();
-    ug::saveCheckpoint(cfg_.checkpointFile, cp);
+    cp.racingDone = !racingPhase_;
+    // The global cut-pool snapshot rides along so a restart resumes sharing
+    // from the fleet's accumulated supports instead of an empty pool.
+    for (const CutSupport& cs : cutPool_.snapshot())
+        cp.cuts.append(cs.vars, cs.rhsClass);
+    ++stats_.checkpointSaves;
+    cp.hasStats = true;
+    cp.stats = stats_;
+    TornWriter* torn = tornWriter_ ? &*tornWriter_ : nullptr;
+    ug::saveCheckpoint(cfg_.checkpointFile, cp, torn);
+    if (torn) stats_.checkpointTornWrites = torn->injected();
 }
 
 bool LoadCoordinator::loadCheckpoint() {
-    auto cp = ug::loadCheckpoint(cfg_.checkpointFile);
-    if (!cp) return false;
+    CheckpointLoadReport report;
+    auto cp = ug::loadCheckpoint(cfg_.checkpointFile, &report);
+    if (!cp) {
+        if (report.slotsPresent > 0) {
+            // Slot files existed but none validated (torn writes or on-disk
+            // corruption in every generation): log why, count it, and fall
+            // back to a fresh root solve rather than trusting bad bytes.
+            ++stats_.checkpointLoadFailures;
+            std::fprintf(stderr,
+                         "[LC] checkpoint restart failed (%s); "
+                         "falling back to a fresh root solve\n",
+                         report.error.c_str());
+            std::fflush(stderr);
+        }
+        return false;
+    }
     pool_ = std::move(cp->nodes);
     if (cp->incumbent.valid()) {
         best_ = std::move(cp->incumbent);
         cutoff_ = best_.obj;
+        bestSource_ = cp->incumbentSource;
+        bestSetting_ = cp->incumbentSetting;
+    }
+    if (cp->hasStats) {
+        // Resume cumulative accounting across the restart; gauges that
+        // describe a single run (ramp-up, activity peaks, end-of-run pool)
+        // restart fresh.
+        stats_ = cp->stats;
+        stats_.maxActiveSolvers = 0;
+        stats_.firstMaxActiveTime = 0.0;
+        stats_.rampUpTime = -1.0;
+        stats_.racingWinnerSetting = -1;
+        stats_.idleRatio = 0.0;
+        stats_.openNodesAtEnd = 0;
+    }
+    ++stats_.checkpointRestarts;
+    if (!cp->cuts.empty()) {
+        // Restored supports re-seed the global pool with origin 0 (the
+        // coordinator itself). MergeStats are deliberately ignored: the
+        // original run already counted these supports as reported/pooled,
+        // and the restored cumulative stats carry those counts.
+        cutPool_.merge(cp->cuts, 0);
     }
     stats_.initialOpenNodes = static_cast<long long>(pool_.size());
     if (pool_.empty() && !best_.valid()) pool_.push_back(rootDesc_);

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "ug/checkpoint.hpp"
 #include "ug/config.hpp"
 #include "ug/globalcutpool.hpp"
 #include "ug/paracomm.hpp"
@@ -73,6 +74,23 @@ private:
         double admitEwma = 0.5;  ///< neutral prior until telemetry arrives
         std::int64_t lastSharedReceived = 0;
         std::int64_t lastSharedAdmitted = 0;
+        std::int64_t lastSharedDecodeFailures = 0;
+
+        // Stall detection (progress watermarks): the highest workDone the
+        // rank has reported for its current subproblem and when it last
+        // advanced. A rank that keeps sending Status but never moves the
+        // watermark past cfg.stallTimeout is *stalled*, not dead.
+        std::int64_t lastProgress = 0;
+        double lastProgressTime = 0.0;
+        bool stallInterrupted = false;  ///< soft Interrupt sent; waiting for
+                                        ///< the Terminated report (escalates
+                                        ///< to dead after another timeout)
+
+        // Cut-sharing quarantine: consecutive corrupt bundles on this rank's
+        // link, and the exponential-backoff suspension window.
+        int decodeFailStreak = 0;
+        int quarantineLevel = 0;      ///< backoff exponent (offense count)
+        double quarantineUntil = 0.0; ///< sharing suspended before this time
     };
 
     void assignNodes();
@@ -85,16 +103,26 @@ private:
     /// Fold a final LP-effort report into the aggregate statistics.
     void foldLpEffort(const LpEffort& e);
     /// Adopt `sol` if it improves the incumbent: prune the pool against the
-    /// new cutoff and broadcast. Returns true if adopted.
-    bool adoptSolution(const cip::Solution& sol);
+    /// new cutoff and broadcast. Returns true if adopted. `source` and
+    /// `settingId` record the incumbent's provenance for checkpointing.
+    bool adoptSolution(const cip::Solution& sol, int source = -1,
+                       int settingId = -1);
     void broadcastSolution();
     /// Racing epilogue shared by Terminated handling and failure detection:
     /// once the last racer is gone, leave the racing phase and fall back to
     /// the root if the winner delivered nothing.
     void maybeFinishRacing();
-    /// Failure detector: declare silent-but-active ranks dead, requeue their
-    /// assigned roots, and exclude them from all future scheduling.
+    /// Failure detector: declare silent-but-active ranks dead (requeue their
+    /// assigned roots, exclude them from all future scheduling), and soft-
+    /// interrupt chatty-but-stalled ranks so their roots retry under the
+    /// fallback parameter profile.
     void checkHeartbeats(double now);
+    /// Declare rank `r` dead and requeue its root; shared by the silence and
+    /// stall-escalation paths.
+    void declareDead(int r, double now, const char* why);
+    /// Record one corrupt-bundle event on a rank's link; trips the
+    /// exponential-backoff sharing quarantine after a configured streak.
+    void noteDecodeFailure(SolverInfo& si, double now);
     /// Merge a worker-reported cut bundle into the global pool (no-op when
     /// sharing is disabled or the bundle is empty).
     void mergeSharedCuts(const Message& m);
@@ -108,7 +136,7 @@ private:
     int primingBatchFor(int receiver) const;
     void checkDone();
     void terminateAll();
-    void saveCheckpoint() const;
+    void saveCheckpoint();
     bool loadCheckpoint();
     int activeCount() const;
     int aliveCount() const;  ///< ranks not declared dead
@@ -126,6 +154,14 @@ private:
     std::vector<SolverInfo> info_;  ///< index 1..numSolvers (0 unused)
     cip::Solution best_;
     double cutoff_;  ///< objective of best_, or +inf
+    int bestSource_ = -1;   ///< rank that reported best_ (-1: unknown)
+    int bestSetting_ = -1;  ///< racing setting best_ was found under
+
+    /// Fallback profile attached when redispatching a stalled root
+    /// (cfg.stallFallbackParams, or the built-in default).
+    cip::ParamSet stallParams_;
+    /// Torn-write fault injection on checkpoint saves (faults.tornWriteProb).
+    std::optional<TornWriter> tornWriter_;
 
     cip::SubproblemDesc rootDesc_;
     bool racingPhase_ = false;

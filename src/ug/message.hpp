@@ -72,6 +72,8 @@ struct LpEffort {
     std::int64_t sharedReceived = 0;  ///< shared supports delivered to solver
     std::int64_t sharedAdmitted = 0;  ///< certified + violated, entered the LP
     std::int64_t sharedInvalid = 0;   ///< failed certification, dropped
+    std::int64_t sharedDecodeFailures = 0;  ///< priming bundles that failed
+                                            ///< to decode (corrupt framing)
 
     // Tree-level variable fixing: the built-in LP reduced-cost fixing pass
     // and the graph-reduction propagation (e.g. the Steiner ReduceEngine).
@@ -101,6 +103,12 @@ struct Message {
     std::int64_t openNodes = 0;      ///< Status
     std::int64_t nodesProcessed = 0; ///< Status / Terminated
     std::int64_t busyCost = 0;       ///< Status / Terminated: work units spent
+    std::int64_t workDone = 0;       ///< Status: monotone progress watermark
+                                     ///< (LP iterations + nodes processed);
+                                     ///< the stall detector compares
+                                     ///< successive values, so any strictly
+                                     ///< increasing measure of useful work
+                                     ///< qualifies
     LpEffort lpEffort;               ///< Status / Terminated / RacingFinished
     int settingId = -1;              ///< racing setting index
     bool completed = true;           ///< Terminated: subproblem fully solved

@@ -53,11 +53,14 @@ void ParaSolver::startSubproblem(const Message& m, bool racing) {
         return;
     }
     cip::ParamSet params = cfg_.baseParams;
-    if (racing) params.merge(m.params);
+    // Racing settings and stall-fallback profiles both travel in m.params;
+    // ordinary assignments carry an empty set, so the merge is a no-op there.
+    params.merge(m.params);
     solver_ = factory_.create(params);
     racing_ = racing;
     settingId_ = m.settingId;
     stepsSinceStatus_ = 0;
+    lastStatusTime_ = comm_.now(rank_);
     busyUnits_ = 0;  // per-subproblem: the coordinator sums Terminated reports
     if (m.sol.valid() &&
         (!bestKnown_.valid() || m.sol.obj < bestKnown_.obj)) {
@@ -127,8 +130,12 @@ void ParaSolver::sendStatus() {
     out.nodesProcessed = solver_->nodesProcessed();
     out.busyCost = busyUnits_;
     out.lpEffort = solver_->lpEffort();
+    // Monotone progress watermark for the coordinator's stall detector: a
+    // healthy solver strictly advances it, a looping one does not.
+    out.workDone = out.lpEffort.iterations + out.nodesProcessed;
     if (shareCuts_) out.cuts = solver_->takeShareableCuts(shareMaxCuts_);
     out.settingId = settingId_;
+    lastStatusTime_ = comm_.now(rank_);
     comm_.send(rank_, 0, out);
 }
 
@@ -209,7 +216,17 @@ std::int64_t ParaSolver::work() {
         return cost;
     }
 
-    if (++stepsSinceStatus_ >= cfg_.statusIntervalSteps) {
+    ++stepsSinceStatus_;
+    // Keepalive: a solver diving deep between scheduled Status reports (a
+    // large statusIntervalSteps, or simply expensive steps) must not trip
+    // the coordinator's failure detector while healthy. One third of the
+    // timeout leaves room for two lost/late keepalives plus latency before
+    // silence reaches heartbeatTimeout. Deterministic under SimEngine: the
+    // comparison uses the rank's virtual clock.
+    const bool keepalive =
+        cfg_.heartbeatTimeout > 0 &&
+        comm_.now(rank_) - lastStatusTime_ >= cfg_.heartbeatTimeout / 3.0;
+    if (stepsSinceStatus_ >= cfg_.statusIntervalSteps || keepalive) {
         sendStatus();
         stepsSinceStatus_ = 0;
     }

@@ -64,6 +64,10 @@ private:
     bool shareCuts_ = true;  ///< stp/share/enable (from cfg.baseParams)
     int shareMaxCuts_ = 32;  ///< stp/share/maxcutsup: per-message batch bound
     int stepsSinceStatus_ = 0;
+    double lastStatusTime_ = 0.0;  ///< engine time of the last Status sent;
+                                   ///< drives the keepalive that stops a
+                                   ///< deep dive between scheduled Status
+                                   ///< reports from looking like a death
     std::int64_t busyUnits_ = 0;
     cip::Solution bestKnown_;  ///< latest incumbent seen (local or pushed)
 };

@@ -105,9 +105,15 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
                            0, Message{}, TimerKind::Checkpoint});
     // The failure detector needs the flow of virtual time even when no
     // messages flow (e.g. the only busy rank just crashed): poll at half the
-    // timeout so a death is declared within 1.5x the configured silence.
-    const double hbPeriod = cfg_.heartbeatTimeout / 2.0;
-    if (cfg_.heartbeatTimeout > 0)
+    // tightest configured timeout so a death/stall is declared within 1.5x
+    // the configured window. Stall detection polls through the same timer.
+    double detectTimeout = cfg_.heartbeatTimeout;
+    if (cfg_.stallTimeout > 0)
+        detectTimeout = detectTimeout > 0
+                            ? std::min(detectTimeout, cfg_.stallTimeout)
+                            : cfg_.stallTimeout;
+    const double hbPeriod = detectTimeout / 2.0;
+    if (detectTimeout > 0)
         events_.push(Event{hbPeriod, seq_++, EventKind::Timer, 0, Message{},
                            TimerKind::Heartbeat});
 
@@ -165,6 +171,7 @@ UgResult SimEngine::run(const cip::SubproblemDesc& root) {
         res.stats.msgsDuplicated = c.duplicated;
         res.stats.msgsReordered = c.reordered;
         res.stats.msgsSwallowedDead = c.swallowedDead;
+        res.stats.msgsCorrupted = c.corrupted;
     }
     // Drain leftover events for reuse safety.
     while (!events_.empty()) events_.pop();

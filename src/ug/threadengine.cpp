@@ -150,6 +150,7 @@ UgResult ThreadEngine::run(const cip::SubproblemDesc& root) {
         res.stats.msgsDuplicated = c.duplicated;
         res.stats.msgsReordered = c.reordered;
         res.stats.msgsSwallowedDead = c.swallowedDead;
+        res.stats.msgsCorrupted = c.corrupted;
     }
     return res;
 }

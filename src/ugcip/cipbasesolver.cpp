@@ -59,6 +59,7 @@ ug::LpEffort CipBaseSolver::lpEffort() const {
     e.sharedReceived = s.sharedCutsReceived;
     e.sharedAdmitted = s.sharedCutsAdmitted;
     e.sharedInvalid = s.sharedCutsInvalid;
+    e.sharedDecodeFailures = s.sharedCutsDecodeFailures;
     e.redcostCalls = s.redcostCalls;
     e.redcostTightenings = s.redcostTightenings;
     e.redcostFixings = s.redcostFixings;

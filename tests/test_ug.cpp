@@ -64,6 +64,7 @@ TEST(Checkpoint, RoundtripPreservesEverything) {
     cp.dualBound = -13.0;
 
     const std::string path = "/tmp/ugtest_checkpoint.txt";
+    ug::removeCheckpointFiles(path);
     ASSERT_TRUE(ug::saveCheckpoint(path, cp));
     auto loaded = ug::loadCheckpoint(path);
     ASSERT_TRUE(loaded.has_value());
@@ -78,7 +79,7 @@ TEST(Checkpoint, RoundtripPreservesEverything) {
     ASSERT_EQ(loaded->nodes[0].customBranches.size(), 1u);
     EXPECT_EQ(loaded->nodes[0].customBranches[0].plugin, "stp");
     EXPECT_EQ(loaded->nodes[0].customBranches[0].data[2], 9);
-    std::remove(path.c_str());
+    ug::removeCheckpointFiles(path);
 }
 
 TEST(Checkpoint, MissingFileReturnsNullopt) {
@@ -169,7 +170,7 @@ TEST(SimEngine, RacingRampUpSolvesCorrectly) {
 TEST(SimEngine, TimeLimitCheckpointAndRestart) {
     Model m = hardKnapsack(22, 17);
     const std::string path = "/tmp/ugtest_restart_checkpoint.txt";
-    std::remove(path.c_str());
+    ug::removeCheckpointFiles(path);
 
     ug::UgConfig cfg;
     cfg.numSolvers = 4;
@@ -197,7 +198,7 @@ TEST(SimEngine, TimeLimitCheckpointAndRestart) {
     ASSERT_EQ(second.status, ug::UgStatus::Optimal);
     EXPECT_NEAR(second.best.obj, opt, 1e-6);
     EXPECT_GT(second.stats.initialOpenNodes, 0);
-    std::remove(path.c_str());
+    ug::removeCheckpointFiles(path);
 }
 
 TEST(ThreadEngine, SolvesKnapsackCorrectly) {

@@ -250,7 +250,7 @@ TEST(UgProtocol, ForceStopDuringRacingCheckpointsOneRootAndRestarts) {
     // checkpoint must contain exactly ONE copy of the root — not one per
     // racer, which is what the naive per-rank `assigned` walk used to write.
     const std::string path = "/tmp/ugtest_racing_checkpoint.txt";
-    std::remove(path.c_str());
+    ug::removeCheckpointFiles(path);
 
     const std::int64_t stepCost = 10;
     MockFactory factory(400, stepCost);
@@ -294,7 +294,7 @@ TEST(UgProtocol, ForceStopDuringRacingCheckpointsOneRootAndRestarts) {
     ASSERT_EQ(second.status, ug::UgStatus::Optimal);
     EXPECT_NEAR(second.best.obj, -50.0, 1e-12);
     EXPECT_EQ(second.stats.initialOpenNodes, 1);
-    std::remove(path.c_str());
+    ug::removeCheckpointFiles(path);
 }
 
 TEST(UgProtocol, MoreSolversNeverIncreaseMakespanOnWideTree) {
